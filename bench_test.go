@@ -1,0 +1,232 @@
+package repro
+
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation section (see EXPERIMENTS.md for the paper-vs-measured record):
+//
+//	BenchmarkTable1/*            — E1: full two-stage solve per circuit
+//	BenchmarkFigure10Runtime/*   — E3: wall time per OGWS iteration vs size
+//	BenchmarkFigure10Storage/*   — E2: solver memory vs size (metric MB)
+//	BenchmarkCouplingApprox      — E4 lives in internal/coupling
+//	BenchmarkAblation*           — A1–A3 design-choice ablations
+//
+// cmd/table1 and cmd/figure10 produce the formatted artifacts; these
+// benches measure the same work under testing.B.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/coupling"
+)
+
+// table1Circuits is the subset run under `go test -bench`; the full ten
+// (including c5315/c6288/c7552) run in cmd/table1. The subset keeps
+// `go test -bench=. ./...` under a few minutes while covering a 15×
+// size range.
+var table1Circuits = []string{"c432", "c880", "c499", "c1355", "c1908", "c2670", "c3540"}
+
+func instanceFor(b *testing.B, name string) *bench.Instance {
+	b.Helper()
+	spec, ok := bench.SpecByName(name)
+	if !ok {
+		b.Fatalf("unknown spec %s", name)
+	}
+	inst, err := bench.BuildInstance(spec, bench.PipelineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkTable1 regenerates Table 1 rows: one op = one full OGWS solve.
+// The noise/delay/power/area improvements are attached as metrics.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range table1Circuits {
+		b.Run(name, func(b *testing.B) {
+			spec, _ := bench.SpecByName(name)
+			var last *bench.Table1Row
+			for i := 0; i < b.N; i++ {
+				row, err := bench.RunRow(spec, bench.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row
+			}
+			b.ReportMetric(float64(last.Iterations), "iters")
+			b.ReportMetric(100*(last.InitNoisePF-last.FinNoisePF)/last.InitNoisePF, "noiseImpr%")
+			b.ReportMetric(100*(last.InitAreaUM2-last.FinAreaUM2)/last.InitAreaUM2, "areaImpr%")
+			b.ReportMetric(100*(last.InitPowerMW-last.FinPowerMW)/last.InitPowerMW, "powerImpr%")
+		})
+	}
+}
+
+// BenchmarkFigure10Runtime measures the cost of one OGWS iteration (LRS +
+// multiplier update + projection) per circuit — the y-axis of Figure 10(b).
+func BenchmarkFigure10Runtime(b *testing.B) {
+	for _, name := range table1Circuits {
+		b.Run(name, func(b *testing.B) {
+			inst := instanceFor(b, name)
+			bounds := bench.DeriveBounds(inst)
+			opt := core.DefaultOptions(bounds.A0, bounds.NoiseBound, bounds.PowerBound)
+			opt.MaxIterations = 1 // one op = one outer iteration
+			sol, err := core.NewSolver(inst.Eval, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sol.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(inst.Spec.Components()), "components")
+		})
+	}
+}
+
+// BenchmarkFigure10Storage reports the analytic solver memory per circuit —
+// the y-axis of Figure 10(a) — as the MB metric.
+func BenchmarkFigure10Storage(b *testing.B) {
+	for _, name := range table1Circuits {
+		b.Run(name, func(b *testing.B) {
+			spec, _ := bench.SpecByName(name)
+			var mem float64
+			for i := 0; i < b.N; i++ {
+				row, err := bench.RunRow(spec, bench.RunOptions{MaxIterations: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mem = row.MemMB
+			}
+			b.ReportMetric(mem, "MB")
+			b.ReportMetric(float64(spec.Components()), "components")
+		})
+	}
+}
+
+// BenchmarkLRS measures one greedy subproblem solve (Figure 8) — the inner
+// kernel whose linearity in circuit size underlies Figure 10(b).
+func BenchmarkLRS(b *testing.B) {
+	for _, name := range []string{"c432", "c1355", "c3540"} {
+		b.Run(name, func(b *testing.B) {
+			inst := instanceFor(b, name)
+			bounds := bench.DeriveBounds(inst)
+			opt := core.DefaultOptions(bounds.A0, bounds.NoiseBound, bounds.PowerBound)
+			sol, err := core.NewSolver(inst.Eval, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Run once to set up multipliers, then time LRS alone.
+			opt2 := opt
+			opt2.MaxIterations = 1
+			if _, err := sol.Run(); err != nil {
+				_ = opt2
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol.LRS()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNoiseConstraint (A1) compares the full noise-constrained
+// solve against the delay/power-only LR sizing of the prior work the paper
+// extends (γ = 0): the metric is the final noise in fF.
+func BenchmarkAblationNoiseConstraint(b *testing.B) {
+	for _, mode := range []string{"with-noise", "without-noise"} {
+		b.Run(mode, func(b *testing.B) {
+			spec, _ := bench.SpecByName("c432")
+			var noise float64
+			for i := 0; i < b.N; i++ {
+				inst, err := bench.BuildInstance(spec, bench.PipelineOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bounds := bench.DeriveBounds(inst)
+				if mode == "without-noise" {
+					bounds.NoiseBound = 0 // disables γ, CCW'98 baseline
+				}
+				row, err := bench.RunInstance(inst, bench.RunOptions{Bounds: &bounds})
+				if err != nil {
+					b.Fatal(err)
+				}
+				noise = row.FinNoisePF * 1000
+			}
+			b.ReportMetric(noise, "finNoiseFF")
+		})
+	}
+}
+
+// BenchmarkAblationOrdering (A2) measures stage 1's contribution: the total
+// SS objective (effective loading) for WOSS vs identity vs random track
+// assignment.
+func BenchmarkAblationOrdering(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		ord  bench.Ordering
+	}{{"woss", bench.OrderWOSS}, {"identity", bench.OrderIdentity}, {"random", bench.OrderRandom}} {
+		b.Run(mode.name, func(b *testing.B) {
+			spec, _ := bench.SpecByName("c880")
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				inst, err := bench.BuildInstance(spec, bench.PipelineOptions{Ordering: mode.ord})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = inst.OrderingCost
+			}
+			b.ReportMetric(cost, "ssCost")
+		})
+	}
+}
+
+// BenchmarkAblationPosynomialOrder (A3) sweeps the truncation order k of
+// the coupling model: the metric is the worst-case Theorem-1 error ratio at
+// x̄ = 0.25 (paper: 6.3%, 1.6%, 0.4%, 0.1% for k = 2..5).
+func BenchmarkAblationPosynomialOrder(b *testing.B) {
+	p := coupling.Pair{I: 0, J: 1, CTilde: 10, Dist: 2, Weight: 1}
+	for k := 2; k <= 5; k++ {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			sum := 0.0
+			for i := 0; i < b.N; i++ {
+				sum += p.Approx(0.5, 0.5, k)
+			}
+			_ = sum
+			b.ReportMetric(100*coupling.ErrorRatio(0.25, k), "errRatio%")
+		})
+	}
+}
+
+// BenchmarkAblationWarmStart compares the paper-faithful cold LRS start
+// (Figure 8, S1) against warm starts across OGWS iterations.
+func BenchmarkAblationWarmStart(b *testing.B) {
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			spec, _ := bench.SpecByName("c432")
+			var sweeps int
+			for i := 0; i < b.N; i++ {
+				row, err := bench.RunRow(spec, bench.RunOptions{WarmStart: mode == "warm"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sweeps = row.Iterations
+			}
+			b.ReportMetric(float64(sweeps), "iters")
+		})
+	}
+}
+
+// BenchmarkRCRecompute measures the linear-time evaluation pass that every
+// LRS sweep performs.
+func BenchmarkRCRecompute(b *testing.B) {
+	inst := instanceFor(b, "c1355")
+	ev := inst.Eval
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Recompute()
+	}
+}

@@ -1,0 +1,61 @@
+// Command benchgen emits a synthetic ISCAS85-class netlist in .bench
+// format, reproducing the published gate/wire/interface statistics of the
+// chosen circuit (see internal/bench.ISCAS85).
+//
+// Usage:
+//
+//	benchgen -circuit c432 [-o c432.bench] [-seed 99]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	circuit := flag.String("circuit", "c432", "circuit name from the ISCAS85 table")
+	out := flag.String("o", "", "output path (default stdout)")
+	seed := flag.Int64("seed", 0, "override the generation seed (0 = spec default)")
+	list := flag.Bool("list", false, "list available circuits and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("name    gates  wires  inputs  outputs  depth")
+		for _, s := range bench.ISCAS85 {
+			fmt.Printf("%-7s %5d  %5d  %6d  %7d  %5d\n", s.Name, s.Gates, s.Wires, s.Inputs, s.Outputs, s.Depth)
+		}
+		return
+	}
+	spec, ok := bench.SpecByName(*circuit)
+	if !ok {
+		log.Fatalf("unknown circuit %q (use -list)", *circuit)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	nl, err := bench.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := nl.Write(w); err != nil {
+		log.Fatal(err)
+	}
+	st := nl.Stats()
+	fmt.Fprintf(os.Stderr, "%s: %d gates, %d wires (%d connections + %d outputs), depth %d\n",
+		spec.Name, st.Gates, st.Connections+st.Outputs, st.Connections, st.Outputs, st.Depth)
+}

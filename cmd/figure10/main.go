@@ -1,0 +1,58 @@
+// Command figure10 regenerates the paper's Figure 10: solver storage (a)
+// and runtime per iteration (b) as functions of circuit size, both linear.
+//
+// Usage:
+//
+//	figure10 [-csv] [-circuits c432,c880,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure10: ")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	circuits := flag.String("circuits", "", "comma-separated circuit names (default: all ten)")
+	flag.Parse()
+
+	specs := bench.ISCAS85
+	if *circuits != "" {
+		specs = nil
+		for _, name := range strings.Split(*circuits, ",") {
+			s, ok := bench.SpecByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("unknown circuit %q", name)
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	rows := make([]*bench.Table1Row, 0, len(specs))
+	for _, s := range specs {
+		row, err := bench.RunRow(s, bench.RunOptions{})
+		if err != nil {
+			log.Fatalf("%s: %v", s.Name, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %.3f MB, %.4f s/iter\n", row.Name, row.MemMB, row.SecPerIter)
+		rows = append(rows, row)
+	}
+	pts := bench.Figure10(rows)
+	var err error
+	if *csv {
+		err = report.Figure10CSV(os.Stdout, pts)
+	} else {
+		err = report.Figure10(os.Stdout, pts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

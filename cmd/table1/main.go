@@ -1,0 +1,64 @@
+// Command table1 regenerates the paper's Table 1: initial versus final
+// noise, delay, power, and area for the ten ISCAS85-class circuits, with
+// iteration counts, runtime, and memory.
+//
+// Usage:
+//
+//	table1 [-circuits c432,c880] [-maxiter N] [-epsilon 0.01] [-short]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("table1: ")
+	circuits := flag.String("circuits", "", "comma-separated circuit names (default: all ten)")
+	maxIter := flag.Int("maxiter", 0, "cap on OGWS iterations (0 = solver default)")
+	epsilon := flag.Float64("epsilon", 0, "duality-gap precision (0 = paper's 1%)")
+	short := flag.Bool("short", false, "run only the circuits up to ~5k components")
+	flag.Parse()
+
+	var specs []bench.Spec
+	switch {
+	case *circuits != "":
+		for _, name := range strings.Split(*circuits, ",") {
+			s, ok := bench.SpecByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("unknown circuit %q", name)
+			}
+			specs = append(specs, s)
+		}
+	case *short:
+		for _, s := range bench.ISCAS85 {
+			if s.Components() <= 5000 {
+				specs = append(specs, s)
+			}
+		}
+	default:
+		specs = bench.ISCAS85
+	}
+
+	opt := bench.RunOptions{MaxIterations: *maxIter, Epsilon: *epsilon}
+	rows := make([]*bench.Table1Row, 0, len(specs))
+	for _, s := range specs {
+		row, err := bench.RunRow(s, opt)
+		if err != nil {
+			log.Fatalf("%s: %v", s.Name, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s done: %d iterations, %.2fs, converged=%v\n",
+			row.Name, row.Iterations, row.TimeSec, row.Converged)
+		rows = append(rows, row)
+	}
+	if err := report.Table1(os.Stdout, rows); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Bus ordering: the paper's Figure-6 scenario scaled to a 16-bit bus.
+// Buses carry correlated signals (e.g. sign-extension makes high bits
+// switch together), so ordering wires by switching similarity — stage 1 of
+// the paper's flow — substantially reduces the effective Miller-weighted
+// coupling compared with the natural bit order.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/logicsim"
+	"repro/internal/order"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		bits     = 16
+		patterns = 4096
+	)
+	// Synthesize a differential bus: eight data signals, each routed with a
+	// true and a complemented rail, in the natural interleaved order
+	// [d0, d̄0, d1, d̄1, …]. Complementary rails always switch in opposite
+	// directions (the worst-case Miller effect, similarity −1), so the
+	// natural order is pessimal; grouping rails by switching behaviour —
+	// what WOSS does — removes most of the effective coupling.
+	rng := rand.New(rand.NewSource(42))
+	rows := make([][]bool, bits)
+	for b := range rows {
+		rows[b] = make([]bool, patterns)
+	}
+	value := 0
+	for t := 0; t < patterns; t++ {
+		value += rng.Intn(2001) - 1000
+		for s := 0; s < bits/2; s++ {
+			bit := (value>>uint(s))&1 == 1
+			rows[2*s][t] = bit
+			rows[2*s+1][t] = !bit
+		}
+	}
+	waves, err := logicsim.FromBits(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nets := make([]int, bits)
+	for i := range nets {
+		nets[i] = i
+	}
+	sim := waves.SimilarityMatrix(nets)
+	m, err := order.FromSimilarity(sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	natural := order.Cost(m, layoutIdentity(bits))
+	woss := order.WOSS(m)
+	refined := order.TwoOpt(m, woss)
+	random := order.Random(bits, 7)
+	exact, err := order.Exact(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("16-bit bus, %d patterns; SS objective Σ(1−similarity) between track neighbours\n\n", patterns)
+	fmt.Printf("%-12s %8s   ordering (bit indices)\n", "policy", "cost")
+	show := func(name string, ord []int) {
+		fmt.Printf("%-12s %8.3f   %v\n", name, order.Cost(m, ord), ord)
+	}
+	show("natural", layoutIdentity(bits))
+	show("random", random)
+	show("WOSS", woss)
+	show("WOSS+2opt", refined)
+	show("exact", exact)
+	fmt.Printf("\nWOSS reduces effective loading by %.1f%% versus the natural bit order\n",
+		100*(natural-order.Cost(m, woss))/natural)
+}
+
+func layoutIdentity(n int) []int {
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	return ord
+}

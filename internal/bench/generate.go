@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Generate builds a synthetic combinational netlist with exactly the
+// spec's gate, wire (= Σ fan-ins + outputs), input, and output counts and
+// approximately its depth. Generation is deterministic in Spec.Seed.
+//
+// Construction: gates are spread over Depth levels with one "spine" gate
+// per level to realize the depth; each gate draws its first fan-in from the
+// previous level and any second fan-in from arbitrary earlier levels,
+// always preferring so-far-unused outputs so that every primary input and
+// internal net ends up consumed. Leftover unused gate outputs become
+// primary outputs (topping up with used gates as needed); if more outputs
+// remain unused than the spec allows, fan-ins of later gates are rewired
+// from multiply-used nets onto the stragglers.
+func Generate(spec Spec) (*netlist.Netlist, error) {
+	n1 := spec.OneInputGates()
+	n2 := spec.TwoInputGates()
+	if n1 < 0 || n2 < 0 {
+		return nil, fmt.Errorf("bench: spec %s is inconsistent: n1=%d n2=%d", spec.Name, n1, n2)
+	}
+	if spec.Inputs <= 0 || spec.Outputs <= 0 || spec.Depth < 1 || spec.Gates < spec.Depth {
+		return nil, fmt.Errorf("bench: spec %s has invalid interface or depth", spec.Name)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	nl := &netlist.Netlist{Name: spec.Name}
+	// Primary inputs occupy indices 0..Inputs-1.
+	for i := 0; i < spec.Inputs; i++ {
+		nl.Gates = append(nl.Gates, netlist.Gate{Name: fmt.Sprintf("pi%d", i), Type: netlist.Input})
+		nl.Inputs = append(nl.Inputs, int32(i))
+	}
+
+	// Assign gates to levels 1..Depth: one spine gate per level realizes
+	// the depth; the remaining gates taper linearly toward the top
+	// (weight ∝ Depth+1−l) so high levels stay thin — gates there have few
+	// potential consumers and would otherwise exceed the output budget.
+	perLevel := make([]int, spec.Depth+1)
+	for l := 1; l <= spec.Depth; l++ {
+		perLevel[l] = 1
+	}
+	cum := make([]int, spec.Depth+1)
+	total := 0
+	for l := 1; l <= spec.Depth; l++ {
+		total += spec.Depth + 1 - l
+		cum[l] = total
+	}
+	for extra := spec.Gates - spec.Depth; extra > 0; extra-- {
+		r := rng.Intn(total)
+		lo, hi := 1, spec.Depth
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] > r {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		perLevel[lo]++
+	}
+
+	// Which gates take one input: distribute the n1 single-input gates
+	// randomly over non-spine slots when possible (spine gates may be
+	// single-input too; depth only needs a fan-in chain).
+	oneInput := make([]bool, spec.Gates)
+	perm := rng.Perm(spec.Gates)
+	for i := 0; i < n1; i++ {
+		oneInput[perm[i]] = true
+	}
+
+	twoTypes := []netlist.GateType{netlist.Nand, netlist.Nor, netlist.And, netlist.Or}
+	if spec.XorHeavy {
+		twoTypes = []netlist.GateType{netlist.Xor, netlist.Xnor, netlist.Nand, netlist.And}
+	}
+
+	// byLevel[l] lists node indices at level l (level 0 = inputs).
+	byLevel := make([][]int32, spec.Depth+1)
+	for i := 0; i < spec.Inputs; i++ {
+		byLevel[0] = append(byLevel[0], int32(i))
+	}
+	fanout := make([]int, spec.Inputs+spec.Gates)
+	var unused []int32 // outputs with no fanout yet, all levels
+	unusedAt := make(map[int32]int)
+	for i := 0; i < spec.Inputs; i++ {
+		unusedAt[int32(i)] = len(unused)
+		unused = append(unused, int32(i))
+	}
+	level := make([]int, spec.Inputs+spec.Gates)
+	removeUnused := func(id int32) {
+		pos, ok := unusedAt[id]
+		if !ok {
+			return
+		}
+		last := unused[len(unused)-1]
+		unused[pos] = last
+		unusedAt[last] = pos
+		unused = unused[:len(unused)-1]
+		delete(unusedAt, id)
+	}
+	use := func(id int32) {
+		fanout[id]++
+		removeUnused(id)
+	}
+
+	// pickAny returns a fan-in from any level < l, preferring globally
+	// unused outputs.
+	pickAny := func(l int, not int32) int32 {
+		for k := 0; k < 12 && len(unused) > 0; k++ {
+			id := unused[rng.Intn(len(unused))]
+			if id != not && level[id] < l {
+				return id
+			}
+		}
+		for {
+			ll := rng.Intn(l)
+			cand := byLevel[ll]
+			if len(cand) == 0 {
+				continue
+			}
+			id := cand[rng.Intn(len(cand))]
+			if id != not {
+				return id
+			}
+		}
+	}
+
+	gi := 0
+	spine := byLevel[0][rng.Intn(len(byLevel[0]))] // a PI anchors the chain
+	for l := 1; l <= spec.Depth; l++ {
+		for k := 0; k < perLevel[l]; k++ {
+			id := int32(spec.Inputs + gi)
+			var g netlist.Gate
+			g.Name = fmt.Sprintf("n%d", gi)
+			var first int32
+			if k == 0 {
+				first = spine // the per-level spine gate extends the chain
+			} else {
+				first = pickAny(l, -1)
+			}
+			if oneInput[gi] {
+				if rng.Intn(4) == 0 {
+					g.Type = netlist.Buf
+				} else {
+					g.Type = netlist.Not
+				}
+				g.Fanin = []int32{first}
+			} else {
+				g.Type = twoTypes[rng.Intn(len(twoTypes))]
+				second := pickAny(l, first)
+				g.Fanin = []int32{first, second}
+			}
+			use(first)
+			if len(g.Fanin) == 2 {
+				use(g.Fanin[1])
+			}
+			level[id] = l
+			byLevel[l] = append(byLevel[l], id)
+			nl.Gates = append(nl.Gates, g)
+			unusedAt[id] = len(unused)
+			unused = append(unused, id)
+			if k == 0 {
+				spine = id
+			}
+			gi++
+		}
+	}
+
+	// Rewire stragglers: every unused PI, and unused gates beyond the
+	// output budget, steal a fan-in slot from a multiply-used net.
+	var unusedPIs, unusedGates []int32
+	for _, id := range unused {
+		if int(id) < spec.Inputs {
+			unusedPIs = append(unusedPIs, id)
+		} else {
+			unusedGates = append(unusedGates, id)
+		}
+	}
+	// Keep the highest-level unused gates as primary outputs (gates at the
+	// last level cannot be rewired — no later gate can consume them) and
+	// rewire the lowest-level stragglers.
+	sort.Slice(unusedGates, func(a, b int) bool {
+		return level[unusedGates[a]] < level[unusedGates[b]]
+	})
+	excessGates := len(unusedGates) - spec.Outputs
+	var toWire []int32
+	toWire = append(toWire, unusedPIs...)
+	if excessGates > 0 {
+		toWire = append(toWire, unusedGates[:excessGates]...)
+		unusedGates = unusedGates[excessGates:]
+	}
+	if len(toWire) > 0 {
+		if err := rewire(nl, spec, level, fanout, toWire); err != nil {
+			return nil, err
+		}
+	}
+
+	// Primary outputs: all remaining unused gates, topped up with random
+	// high-level gates.
+	poSet := map[int32]bool{}
+	for _, id := range unusedGates {
+		poSet[id] = true
+	}
+	for l := spec.Depth; l >= 1 && len(poSet) < spec.Outputs; l-- {
+		for _, id := range byLevel[l] {
+			if len(poSet) >= spec.Outputs {
+				break
+			}
+			poSet[id] = true
+		}
+	}
+	if len(poSet) != spec.Outputs {
+		return nil, fmt.Errorf("bench: %s: selected %d outputs, want %d", spec.Name, len(poSet), spec.Outputs)
+	}
+	for id := range poSet {
+		nl.Outputs = append(nl.Outputs, id)
+	}
+
+	if err := nl.Finalize(); err != nil {
+		return nil, fmt.Errorf("bench: generated %s invalid: %v", spec.Name, err)
+	}
+	st := nl.Stats()
+	if st.Gates != spec.Gates || st.Connections+st.Outputs != spec.Wires ||
+		st.Inputs != spec.Inputs || st.Outputs != spec.Outputs {
+		return nil, fmt.Errorf("bench: %s: generated stats %+v do not match spec %+v", spec.Name, st, spec)
+	}
+	return nl, nil
+}
+
+// rewire redirects one fan-in of a later gate onto each straggler output,
+// choosing victims whose current fan-in net has fanout ≥ 2 so no new
+// straggler is created.
+func rewire(nl *netlist.Netlist, spec Spec, level []int, fanout []int, stragglers []int32) error {
+	for _, s := range stragglers {
+		done := false
+		for gi := range nl.Gates {
+			g := &nl.Gates[gi]
+			if g.Type == netlist.Input || level[gi] <= level[s] {
+				continue
+			}
+			// Never rewire fan-in 0: it is the level-(l−1) spine link that
+			// realizes the target depth.
+			for fi := 1; fi < len(g.Fanin); fi++ {
+				f := g.Fanin[fi]
+				if fanout[f] < 2 || f == s {
+					continue
+				}
+				dup := false
+				for fj, other := range g.Fanin {
+					if fj != fi && other == s {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				fanout[f]--
+				g.Fanin[fi] = s
+				fanout[s]++
+				done = true
+				break
+			}
+			if done {
+				break
+			}
+		}
+		if !done {
+			return fmt.Errorf("bench: %s: could not rewire straggler net %d (level %d of %d, %d stragglers)",
+				spec.Name, s, level[s], spec.Depth, len(stragglers))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Package bench is the experiment substrate: a calibrated synthetic
+// generator for ISCAS85-class circuits (the paper's benchmarks are not
+// redistributable and the environment is offline; see DESIGN.md §4), the
+// two-stage flow pipeline (wire ordering + LR sizing), and harnesses that
+// regenerate Table 1 and Figure 10.
+package bench
+
+// Spec describes one benchmark circuit by its published statistics. Gates
+// and Wires are the paper's Table-1 "#G" and "#W"; Inputs/Outputs are the
+// real ISCAS85 interface sizes; Depth is the approximate logic depth.
+//
+// The identity Wires = Σ gate fan-ins + Outputs pins the fan-in mix: with
+// n₁ one-input and n₂ two-input gates, n₂ = Wires − Outputs − Gates and
+// n₁ = Gates − n₂, both non-negative for every ISCAS85 member.
+type Spec struct {
+	Name    string
+	Gates   int
+	Wires   int
+	Inputs  int
+	Outputs int
+	Depth   int
+	// XorHeavy biases the two-input gate mix toward XOR/XNOR, matching the
+	// parity and multiplier circuits (c499, c1355, c6288).
+	XorHeavy bool
+	// Seed makes generation deterministic per circuit.
+	Seed int64
+}
+
+// OneInputGates returns n₁, the number of BUF/NOT gates needed to satisfy
+// the wire-count identity.
+func (s Spec) OneInputGates() int { return 2*s.Gates - (s.Wires - s.Outputs) }
+
+// TwoInputGates returns n₂ = Gates − n₁.
+func (s Spec) TwoInputGates() int { return s.Wires - s.Outputs - s.Gates }
+
+// Components returns the paper's "tot" column: gates plus wires.
+func (s Spec) Components() int { return s.Gates + s.Wires }
+
+// ISCAS85 lists the ten circuits of Table 1 in the paper's (alphabetical)
+// row order.
+var ISCAS85 = []Spec{
+	{Name: "c1355", Gates: 546, Wires: 1064, Inputs: 41, Outputs: 32, Depth: 24, XorHeavy: true, Seed: 1355},
+	{Name: "c1908", Gates: 880, Wires: 1498, Inputs: 33, Outputs: 25, Depth: 40, Seed: 1908},
+	{Name: "c2670", Gates: 1193, Wires: 2076, Inputs: 233, Outputs: 140, Depth: 32, Seed: 2670},
+	{Name: "c3540", Gates: 1669, Wires: 2939, Inputs: 50, Outputs: 22, Depth: 47, Seed: 3540},
+	{Name: "c432", Gates: 214, Wires: 426, Inputs: 36, Outputs: 7, Depth: 17, Seed: 432},
+	{Name: "c499", Gates: 514, Wires: 928, Inputs: 41, Outputs: 32, Depth: 11, XorHeavy: true, Seed: 499},
+	{Name: "c5315", Gates: 2307, Wires: 4386, Inputs: 178, Outputs: 123, Depth: 49, Seed: 5315},
+	{Name: "c6288", Gates: 2416, Wires: 4800, Inputs: 32, Outputs: 32, Depth: 124, XorHeavy: true, Seed: 6288},
+	{Name: "c7552", Gates: 3512, Wires: 6144, Inputs: 207, Outputs: 108, Depth: 43, Seed: 7552},
+	{Name: "c880", Gates: 383, Wires: 729, Inputs: 60, Outputs: 26, Depth: 24, Seed: 880},
+}
+
+// SpecByName returns the ISCAS85 spec with the given name, or false.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range ISCAS85 {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

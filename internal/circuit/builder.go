@@ -1,0 +1,280 @@
+package circuit
+
+import (
+	"fmt"
+)
+
+// Builder incrementally assembles a circuit graph. Nodes are added in any
+// order and connected freely; Build performs the topological renumbering
+// (source = 0, drivers = 1..s, components s+1..n+s indexed so that drivers
+// precede their loads, sink = n+s+1) and validates the structure.
+type Builder struct {
+	comps   []Component
+	edges   [][2]int // component-to-component connections, builder IDs
+	outputs []output // components feeding the sink
+	err     error
+}
+
+type output struct {
+	node int
+	load float64
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+func (b *Builder) add(c Component) int {
+	b.comps = append(b.comps, c)
+	return len(b.comps) - 1
+}
+
+// AddDriver adds an input driver with fixed resistance r (Ω) and returns its
+// builder ID.
+func (b *Builder) AddDriver(name string, r float64) int {
+	return b.add(Component{Kind: Driver, Name: name, RUnit: r})
+}
+
+// AddGate adds a gate with unit-size resistance rUnit (Ω·µm), input
+// capacitance per size cUnit (fF/µm), area coefficient (µm²/µm), and size
+// bounds [lo, hi] (µm).
+func (b *Builder) AddGate(name string, rUnit, cUnit, areaCoeff, lo, hi float64) int {
+	return b.add(Component{
+		Kind: Gate, Name: name,
+		RUnit: rUnit, CUnit: cUnit,
+		AreaCoeff: areaCoeff, Lo: lo, Hi: hi,
+	})
+}
+
+// AddWire adds a wire segment with total unit-width resistance rUnit (Ω·µm),
+// total capacitance per width cUnit (fF/µm), fringe capacitance (fF), length
+// (µm), area coefficient (µm²/µm), and size bounds [lo, hi] (µm).
+func (b *Builder) AddWire(name string, rUnit, cUnit, fringe, length, areaCoeff, lo, hi float64) int {
+	return b.add(Component{
+		Kind: Wire, Name: name,
+		RUnit: rUnit, CUnit: cUnit, Fringe: fringe, Length: length,
+		AreaCoeff: areaCoeff, Lo: lo, Hi: hi,
+	})
+}
+
+// Connect adds a data-flow edge from one component to another.
+func (b *Builder) Connect(from, to int) {
+	if b.err != nil {
+		return
+	}
+	if from < 0 || from >= len(b.comps) || to < 0 || to >= len(b.comps) {
+		b.err = fmt.Errorf("circuit: Connect(%d, %d): unknown node", from, to)
+		return
+	}
+	b.edges = append(b.edges, [2]int{from, to})
+}
+
+// MarkOutput declares that a component drives a primary output with load
+// capacitance loadCap (fF); Build connects it to the sink.
+func (b *Builder) MarkOutput(node int, loadCap float64) {
+	if b.err != nil {
+		return
+	}
+	if node < 0 || node >= len(b.comps) {
+		b.err = fmt.Errorf("circuit: MarkOutput(%d): unknown node", node)
+		return
+	}
+	if loadCap < 0 {
+		b.err = fmt.Errorf("circuit: MarkOutput(%d): negative load %g", node, loadCap)
+		return
+	}
+	b.outputs = append(b.outputs, output{node, loadCap})
+}
+
+// Build validates the circuit and returns the immutable graph together with
+// the mapping from builder IDs to graph node indices.
+func (b *Builder) Build() (*Graph, []int, error) {
+	if b.err != nil {
+		return nil, nil, b.err
+	}
+	nb := len(b.comps)
+	if nb == 0 {
+		return nil, nil, fmt.Errorf("circuit: empty circuit")
+	}
+
+	// Per-builder-node adjacency for sorting and validation.
+	out := make([][]int, nb)
+	indeg := make([]int, nb)
+	for _, e := range b.edges {
+		out[e[0]] = append(out[e[0]], e[1])
+		indeg[e[1]]++
+	}
+
+	s := 0
+	for i, c := range b.comps {
+		switch c.Kind {
+		case Driver:
+			s++
+			if indeg[i] != 0 {
+				return nil, nil, fmt.Errorf("circuit: driver %q has fan-in", c.Name)
+			}
+		case Wire:
+			if indeg[i] != 1 {
+				return nil, nil, fmt.Errorf("circuit: wire %q has fan-in %d, want exactly 1", c.Name, indeg[i])
+			}
+		case Gate:
+			if indeg[i] == 0 {
+				return nil, nil, fmt.Errorf("circuit: gate %q has no fan-in", c.Name)
+			}
+		default:
+			return nil, nil, fmt.Errorf("circuit: node %q has reserved kind %v", c.Name, c.Kind)
+		}
+		if c.Kind.Sizable() {
+			if c.Lo <= 0 || c.Hi < c.Lo {
+				return nil, nil, fmt.Errorf("circuit: %v %q has invalid size bounds [%g, %g]", c.Kind, c.Name, c.Lo, c.Hi)
+			}
+			if c.RUnit <= 0 || c.CUnit <= 0 {
+				return nil, nil, fmt.Errorf("circuit: %v %q needs positive RUnit and CUnit", c.Kind, c.Name)
+			}
+			if c.AreaCoeff < 0 || c.Fringe < 0 {
+				return nil, nil, fmt.Errorf("circuit: %v %q has negative area or fringe", c.Kind, c.Name)
+			}
+		} else if c.RUnit <= 0 {
+			return nil, nil, fmt.Errorf("circuit: driver %q needs positive resistance", c.Name)
+		}
+	}
+	if s == 0 {
+		return nil, nil, fmt.Errorf("circuit: no input drivers")
+	}
+
+	isOutput := make([]bool, nb)
+	loads := make([]float64, nb)
+	for _, o := range b.outputs {
+		if isOutput[o.node] {
+			return nil, nil, fmt.Errorf("circuit: %q marked output twice", b.comps[o.node].Name)
+		}
+		isOutput[o.node] = true
+		loads[o.node] = o.load
+	}
+	hasOutput := len(b.outputs) > 0
+	if !hasOutput {
+		return nil, nil, fmt.Errorf("circuit: no primary outputs (use MarkOutput)")
+	}
+	for i, c := range b.comps {
+		if len(out[i]) == 0 && !isOutput[i] {
+			return nil, nil, fmt.Errorf("circuit: %v %q is dangling (no fan-out, not an output)", c.Kind, c.Name)
+		}
+	}
+
+	// Kahn topological sort with drivers first, so the final numbering puts
+	// drivers at 1..s as the paper requires.
+	order := make([]int, 0, nb)
+	queue := make([]int, 0, nb)
+	deg := make([]int, nb)
+	copy(deg, indeg)
+	for i, c := range b.comps {
+		if c.Kind == Driver {
+			order = append(order, i)
+		} else if deg[i] == 0 {
+			return nil, nil, fmt.Errorf("circuit: %v %q has no fan-in and is not a driver", c.Kind, b.comps[i].Name)
+		}
+	}
+	for _, d := range order {
+		for _, v := range out[d] {
+			deg[v]--
+			if deg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range out[u] {
+			deg[v]--
+			if deg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != nb {
+		return nil, nil, fmt.Errorf("circuit: cycle detected (%d of %d nodes ordered)", len(order), nb)
+	}
+
+	// Renumber: source 0, drivers 1..s, components s+1..n+s, sink n+s+1.
+	n := nb - s
+	g := &Graph{
+		s:     s,
+		n:     n,
+		comps: make([]Component, nb+2),
+		in:    make([][]int32, nb+2),
+		out:   make([][]int32, nb+2),
+	}
+	g.comps[0] = Component{Kind: Source, Name: "~s"}
+	g.comps[nb+1] = Component{Kind: Sink, Name: "~t"}
+	id := make([]int, nb) // builder ID -> graph index
+	for pos, u := range order {
+		id[u] = pos + 1
+		c := b.comps[u]
+		c.Load = loads[u]
+		g.comps[pos+1] = c
+	}
+	addEdge := func(from, to int) {
+		g.out[from] = append(g.out[from], int32(to))
+		g.in[to] = append(g.in[to], int32(from))
+	}
+	for i, c := range b.comps {
+		if c.Kind == Driver {
+			addEdge(0, id[i])
+		}
+		if isOutput[i] {
+			addEdge(id[i], nb+1)
+		}
+	}
+	for _, e := range b.edges {
+		addEdge(id[e[0]], id[e[1]])
+	}
+
+	// Reachability: every component must be reachable from the source and
+	// must reach the sink.
+	if err := g.checkReachability(); err != nil {
+		return nil, nil, err
+	}
+	for i := 1; i <= nb; i++ {
+		switch g.comps[i].Kind {
+		case Wire:
+			g.wires = append(g.wires, int32(i))
+		case Gate:
+			g.gates = append(g.gates, int32(i))
+		}
+	}
+	return g, id, nil
+}
+
+func (g *Graph) checkReachability() error {
+	nn := g.NumNodes()
+	fwd := make([]bool, nn)
+	fwd[0] = true
+	for i := 0; i < nn; i++ { // topological order ⇒ single forward pass
+		if !fwd[i] {
+			continue
+		}
+		for _, j := range g.out[i] {
+			fwd[j] = true
+		}
+	}
+	bwd := make([]bool, nn)
+	bwd[nn-1] = true
+	for i := nn - 1; i >= 0; i-- {
+		if !bwd[i] {
+			continue
+		}
+		for _, j := range g.in[i] {
+			bwd[j] = true
+		}
+	}
+	for i := 1; i < nn-1; i++ {
+		if !fwd[i] {
+			return fmt.Errorf("circuit: %v %q unreachable from inputs", g.comps[i].Kind, g.comps[i].Name)
+		}
+		if !bwd[i] {
+			return fmt.Errorf("circuit: %v %q cannot reach any output", g.comps[i].Kind, g.comps[i].Name)
+		}
+	}
+	return nil
+}

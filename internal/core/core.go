@@ -1,0 +1,747 @@
+// Package core implements the paper's primary contribution: optimal area
+// minimization under crosstalk (noise), delay, and power constraints by
+// simultaneous gate and wire sizing, using Lagrangian relaxation
+// (Section 4).
+//
+// The problem P̃ solved here is
+//
+//	minimize   Σ αᵢxᵢ
+//	subject to aⱼ ≤ A0                    (j feeding the sink)
+//	           aⱼ + Dᵢ ≤ aᵢ               (component edges)
+//	           Dᵢ ≤ aᵢ                    (drivers)
+//	           Σ cᵢ ≤ P′                  (power, P′ = P_B/V²f)
+//	           Σ wᵢⱼ·ĉᵢⱼ(xᵢ+xⱼ) ≤ X′     (crosstalk, X′ = X_B − Σ wᵢⱼc̃ᵢⱼ)
+//	           Lᵢ ≤ xᵢ ≤ Uᵢ.
+//
+// Solver.Run is Algorithm OGWS (Figure 9): a projected subgradient ascent
+// on the Lagrangian dual whose inner subproblem LRS (Figure 8) is solved by
+// greedy sweeps of Theorem 5's closed-form optimal resizing
+//
+//	optᵢ = √( λᵢ·r̂ᵢ·(C′ᵢ + Σ_{j∈N(i)} wᵢⱼĉᵢⱼxⱼ)
+//	        / (αᵢ + (β+Rᵢ)·ĉᵢ + γ·Σ_{j∈N(i)} wᵢⱼĉᵢⱼ) ).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/lagrange"
+	"repro/internal/rc"
+	"repro/internal/tech"
+)
+
+// Options configures the OGWS solver. The zero value is not valid: A0 must
+// be positive; use DefaultOptions for sensible defaults.
+type Options struct {
+	// A0 is the arrival-time bound at every primary output, in ps.
+	A0 float64
+	// NoiseBound is X_B in fF, the bound on total (weighted) coupling
+	// capacitance Σ wᵢⱼ·cᵢⱼ. Zero or negative disables the crosstalk
+	// constraint (γ stays 0, reducing OGWS to delay/power-only LR sizing).
+	NoiseBound float64
+	// PowerCapBound is P′ in fF: the power bound after dividing by V²f
+	// (use tech.Params.CapForPower to convert from mW). Zero or negative
+	// disables the power constraint.
+	PowerCapBound float64
+	// PerNetNoiseBounds implements the extension the paper sketches in
+	// Section 4.1: a distributed crosstalk bound per net. The map assigns
+	// wire nodes v a bound X′_v on their own linear coupling
+	// Σ_{j∈N(v)} wᵥⱼ·ĉᵥⱼ(x_v+x_j), each carrying its own multiplier γᵥ.
+	// Composes freely with the global NoiseBound. Keys must be wire nodes
+	// with at least one coupling pair; bounds must be positive.
+	PerNetNoiseBounds map[int]float64
+	// Epsilon is the relative duality-gap stopping threshold (paper: 1%).
+	Epsilon float64
+	// MaxIterations bounds the outer OGWS iterations.
+	MaxIterations int
+	// Step is the subgradient step schedule ρₖ.
+	Step lagrange.Schedule
+	// InitMultiplier seeds every edge multiplier before the initial
+	// projection; InitBeta and InitGamma seed the scalar multipliers.
+	InitMultiplier, InitBeta, InitGamma float64
+	// LRSMaxSweeps bounds the inner greedy sweeps per OGWS iteration;
+	// LRSTol is the max relative size change that counts as "no
+	// improvement" (Figure 8, S5).
+	LRSMaxSweeps int
+	LRSTol       float64
+	// LRSDamping blends each resize in log space:
+	// x ← x^(1−ω)·optᵢ^ω with ω = LRSDamping ∈ (0,1]. ω = 1 is the
+	// paper's pure update, which can oscillate under the Jacobi sweep;
+	// any ω keeps the same fixed point (Theorem 5's optᵢ).
+	LRSDamping float64
+	// WarmStart keeps the previous iteration's sizes as the LRS starting
+	// point instead of the paper's S1 reset to the lower bounds. The
+	// subproblem has a unique optimum (posynomial ⇒ convex after the log
+	// transform), so both reach it; warm starts just take fewer sweeps.
+	WarmStart bool
+	// RelativeViolations normalizes every subgradient component by its
+	// bound, making one step scale work across circuit sizes.
+	RelativeViolations bool
+	// Polyak switches the step size to the adaptive Polyak rule
+	// ρₖ = θ·(f̂ − D(λₖ))/‖h‖², where f̂ is the best feasible area seen so
+	// far (estimated from the current iterate before one exists), D the
+	// current dual value, and ‖h‖² the squared norm of the normalized
+	// active subgradient. Self-scaling: converges in far fewer iterations
+	// than the classic diminishing schedule and needs no tuning. When
+	// false, Step is used as in the paper's A4.
+	Polyak bool
+	// PolyakTheta is the relaxation factor θ ∈ (0, 2); default 1.
+	PolyakTheta float64
+	// AutoScale multiplies the multiplier seeds and subgradient steps by
+	// the problem's natural dual magnitudes: S/A0 for the timing weights
+	// and S/P′, S/X′ for β, γ, where S = Σαᵢ√(LᵢUᵢ) is the geometric
+	// mid-range area. Lagrange multipliers carry units of
+	// objective-per-constraint (µm²/ps, µm²/fF); without this, unit-scale
+	// seeds leave every optᵢ below its lower bound and the subgradient
+	// ascent crawls. The paper's A1 allows any positive seed and the step
+	// condition (ρₖ→0, Σρₖ=∞) is preserved.
+	AutoScale bool
+	// KeepHistory records per-iteration statistics in the result.
+	KeepHistory bool
+}
+
+// DefaultOptions returns the settings used throughout the experiments:
+// 1% duality gap as in the paper, ρₖ = 2/√k, relative violations, warm
+// starts off (faithful to Figure 8's S1).
+func DefaultOptions(a0, noiseBound, powerCapBound float64) Options {
+	return Options{
+		A0:                 a0,
+		NoiseBound:         noiseBound,
+		PowerCapBound:      powerCapBound,
+		Epsilon:            0.01,
+		MaxIterations:      1000,
+		Step:               lagrange.InverseSqrtK(2),
+		InitMultiplier:     1,
+		InitBeta:           1,
+		InitGamma:          1,
+		LRSMaxSweeps:       200,
+		LRSTol:             1e-7,
+		LRSDamping:         0.7,
+		RelativeViolations: true,
+		AutoScale:          true,
+		Polyak:             true,
+		PolyakTheta:        1,
+	}
+}
+
+func (o *Options) validate() error {
+	if o.A0 <= 0 {
+		return fmt.Errorf("core: delay bound A0 must be positive, got %g", o.A0)
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.01
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 1000
+	}
+	if o.Step == nil {
+		o.Step = lagrange.InverseSqrtK(2)
+	}
+	if o.LRSMaxSweeps <= 0 {
+		o.LRSMaxSweeps = 200
+	}
+	if o.LRSTol <= 0 {
+		o.LRSTol = 1e-7
+	}
+	if o.LRSDamping <= 0 || o.LRSDamping > 1 {
+		o.LRSDamping = 0.7
+	}
+	if o.PolyakTheta <= 0 || o.PolyakTheta >= 2 {
+		o.PolyakTheta = 1
+	}
+	if o.InitMultiplier < 0 || o.InitBeta < 0 || o.InitGamma < 0 {
+		return fmt.Errorf("core: initial multipliers must be non-negative")
+	}
+	return nil
+}
+
+// IterStats records one OGWS iteration for convergence studies.
+type IterStats struct {
+	K          int
+	Rho        float64
+	Area       float64 // Σαᵢxᵢ (µm²)
+	DelayPs    float64 // critical-path arrival (ps)
+	PowerCapFF float64 // Σcᵢ (fF)
+	NoiseLinFF float64 // Σwĉ(xᵢ+xⱼ) (fF)
+	Dual       float64 // L(x) at the LRS minimizer
+	Gap        float64 // (Area − Dual)/Area
+	LRSSweeps  int
+}
+
+// Result is the outcome of Solver.Run.
+type Result struct {
+	// X is the final size vector indexed by circuit node.
+	X []float64
+	// Iterations is the number of OGWS iterations executed; Converged
+	// reports whether the duality gap reached Epsilon before
+	// MaxIterations.
+	Iterations int
+	Converged  bool
+	// Gap is the final relative duality gap |Area − Dual|/Area.
+	Gap  float64
+	Dual float64
+	// Final metrics at X.
+	Area       float64
+	DelayPs    float64
+	PowerCapFF float64
+	NoiseLinFF float64
+	NoiseExact float64
+	// Constraint violations at X (positive = violated, in the constraint's
+	// own unit).
+	DelayViolation float64
+	PowerViolation float64
+	NoiseViolation float64
+	// PerNetNoiseViolation is the largest per-net crosstalk violation in
+	// fF (0 when the extension is unused or satisfied).
+	PerNetNoiseViolation float64
+	// LRSSweepsTotal counts inner sweeps across all iterations.
+	LRSSweepsTotal int
+	// MemoryBytes is the analytic solver footprint (graph + coupling +
+	// evaluator + multipliers + solver arrays) for Figure 10(a).
+	MemoryBytes int
+	History     []IterStats
+}
+
+// Solver runs OGWS on one evaluator. Create with NewSolver; a Solver is
+// single-goroutine.
+type Solver struct {
+	ev   *rc.Evaluator
+	opt  Options
+	mult *lagrange.Multipliers
+
+	lambda  []float64 // node multiplier sums λᵢ
+	rup     []float64 // weighted upstream resistances Rᵢ
+	xBound  float64   // X′; NaN when disabled
+	pBound  float64   // P′; NaN when disabled
+	rEff    []float64 // tech.RC·r̂ᵢ per node (0 for non-sizable)
+	history []IterStats
+
+	// Per-net crosstalk extension state (nil when unused).
+	vBound []float64 // X′_v per node; NaN where unconstrained
+	gammaV []float64 // γᵥ per node
+	denV   []float64 // Σ_{(i,j)} (γᵢ+γⱼ)·wᵢⱼ·ĉᵢⱼ, refreshed per LRS call
+
+	// Dual magnitude scales (1 when AutoScale is off).
+	lamScale, betaScale, gammaScale float64
+}
+
+// NewSolver validates the options against the evaluator's circuit and
+// prepares solver state.
+func NewSolver(ev *rc.Evaluator, opt Options) (*Solver, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	g := ev.Graph()
+	s := &Solver{
+		ev:     ev,
+		opt:    opt,
+		lambda: make([]float64, g.NumNodes()),
+		rup:    make([]float64, g.NumNodes()),
+		rEff:   make([]float64, g.NumNodes()),
+		xBound: math.NaN(),
+		pBound: math.NaN(),
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if c := g.Comp(i); c.Kind.Sizable() {
+			s.rEff[i] = tech.RC * c.RUnit
+		}
+	}
+	if opt.NoiseBound > 0 {
+		off := ev.Couplings().ConstantOffset()
+		xb := opt.NoiseBound - off
+		if xb <= 0 {
+			return nil, fmt.Errorf("core: noise bound %g fF is below the constant coupling offset %g fF (infeasible)", opt.NoiseBound, off)
+		}
+		s.xBound = xb
+	}
+	if opt.PowerCapBound > 0 {
+		s.pBound = opt.PowerCapBound
+	}
+	if len(opt.PerNetNoiseBounds) > 0 {
+		nn := g.NumNodes()
+		s.vBound = make([]float64, nn)
+		s.gammaV = make([]float64, nn)
+		s.denV = make([]float64, nn)
+		for i := range s.vBound {
+			s.vBound[i] = math.NaN()
+		}
+		for v, xb := range opt.PerNetNoiseBounds {
+			if v < 0 || v >= nn || g.Comp(v).Kind != circuit.Wire {
+				return nil, fmt.Errorf("core: per-net bound on node %d, which is not a wire", v)
+			}
+			if len(ev.Couplings().Neighbors(v)) == 0 {
+				return nil, fmt.Errorf("core: per-net bound on wire %d, which has no coupling pairs", v)
+			}
+			if xb <= 0 {
+				return nil, fmt.Errorf("core: per-net bound on wire %d must be positive, got %g", v, xb)
+			}
+			s.vBound[v] = xb
+		}
+	}
+	s.lamScale, s.betaScale, s.gammaScale = 1, 1, 1
+	if opt.AutoScale {
+		sum := 0.0
+		for i := 0; i < g.NumNodes(); i++ {
+			if c := g.Comp(i); c.Kind.Sizable() {
+				sum += c.AreaCoeff * math.Sqrt(c.Lo*c.Hi)
+			}
+		}
+		if sum > 0 {
+			// The natural total timing flow is S/A0; spread it over the
+			// sink edges so each edge's seed and step have per-edge scale.
+			s.lamScale = sum / (opt.A0 * float64(len(g.In(g.SinkID()))))
+			if !math.IsNaN(s.pBound) {
+				s.betaScale = sum / s.pBound
+			}
+			if !math.IsNaN(s.xBound) {
+				s.gammaScale = sum / s.xBound
+			}
+		}
+	}
+	return s, nil
+}
+
+// Bounds returns the derived internal bounds (X′, P′); NaN means the
+// corresponding constraint is disabled.
+func (s *Solver) Bounds() (xPrime, pPrime float64) { return s.xBound, s.pBound }
+
+// LRS solves the Lagrangian relaxation subproblem LRS₂ for the current
+// multipliers (Figure 8) and returns the number of sweeps used. The
+// evaluator's sizes hold the minimizer afterwards, with derived state
+// recomputed.
+func (s *Solver) LRS() int {
+	ev := s.ev
+	g := ev.Graph()
+	if !s.opt.WarmStart {
+		// S1: start from the lower bounds.
+		for i := 1; i < g.NumNodes()-1; i++ {
+			if c := g.Comp(i); c.Kind.Sizable() {
+				ev.X[i] = c.Lo
+			}
+		}
+	}
+	beta, gamma := s.mult.Beta, s.mult.Gamma
+	if math.IsNaN(s.pBound) {
+		beta = 0
+	}
+	if math.IsNaN(s.xBound) {
+		gamma = 0
+	}
+	if s.gammaV != nil {
+		// Per-net extension: the derivative of Σᵥ γᵥ·Nᵥ(x) with respect to
+		// xᵢ is Σ_{(i,j)} (γᵢ+γⱼ)·wᵢⱼ·ĉᵢⱼ; γ is fixed for the whole LRS
+		// call, so refresh the per-node sums once.
+		for i := range s.denV {
+			s.denV[i] = 0
+		}
+		for _, p := range ev.Couplings().Pairs() {
+			gsum := s.gammaV[p.I] + s.gammaV[p.J]
+			if gsum == 0 {
+				continue
+			}
+			ch := gsum * p.Weight * p.CHat()
+			s.denV[p.I] += ch
+			s.denV[p.J] += ch
+		}
+	}
+	sweeps := 0
+	for sweeps < s.opt.LRSMaxSweeps {
+		sweeps++
+		// S2: downstream capacitances; S3: upstream resistances.
+		ev.Recompute()
+		ev.UpstreamResistance(s.lambda, s.rup)
+		// S4: closed-form optimal resize of every component.
+		maxRel := 0.0
+		for i := 1; i < g.NumNodes()-1; i++ {
+			c := g.Comp(i)
+			if !c.Kind.Sizable() {
+				continue
+			}
+			num := s.lambda[i] * s.rEff[i] * (ev.CPr[i] + nbr(ev, i))
+			den := c.AreaCoeff + (beta+s.rup[i])*c.CUnit
+			if ev.CHat != nil {
+				den += gamma * ev.CHat[i]
+			}
+			if s.denV != nil {
+				den += s.denV[i]
+			}
+			var opt float64
+			switch {
+			case den <= 0 && num > 0:
+				opt = c.Hi
+			case num <= 0:
+				opt = c.Lo
+			default:
+				opt = math.Sqrt(num / den)
+			}
+			// Damped update in log space; same fixed point as the pure
+			// xᵢ ← optᵢ assignment, but immune to Jacobi oscillation.
+			x := ev.X[i]
+			if w := s.opt.LRSDamping; w == 1 {
+				x = opt
+			} else {
+				x = math.Exp((1-w)*math.Log(x) + w*math.Log(math.Max(opt, 1e-300)))
+			}
+			if x < c.Lo {
+				x = c.Lo
+			} else if x > c.Hi {
+				x = c.Hi
+			}
+			if rel := math.Abs(x-ev.X[i]) / math.Max(ev.X[i], 1e-12); rel > maxRel {
+				maxRel = rel
+			}
+			ev.X[i] = x
+		}
+		// S5: repeat until no improvement.
+		if maxRel < s.opt.LRSTol {
+			break
+		}
+	}
+	ev.Recompute()
+	return sweeps
+}
+
+func nbr(ev *rc.Evaluator, i int) float64 {
+	if ev.CNbr == nil {
+		return 0
+	}
+	return ev.CNbr[i]
+}
+
+// dual evaluates the Lagrangian L(x, a) at the current LRS minimizer,
+// including the −A0·λ_m constant the argmin drops:
+//
+//	L = Σαᵢxᵢ + Σλᵢ·Dᵢ − A0·λ_m + β·(Σcᵢ − P′) + γ·(noise − X′)
+//	  + Σᵥ γᵥ·(Nᵥ − X′ᵥ).
+func (s *Solver) dual(area, powerViol, noiseViol float64) float64 {
+	ev := s.ev
+	g := ev.Graph()
+	d := area
+	for i := 1; i < g.NumNodes()-1; i++ {
+		d += s.lambda[i] * ev.D[i]
+	}
+	d -= s.opt.A0 * s.mult.SinkFlow()
+	if !math.IsNaN(s.pBound) {
+		d += s.mult.Beta * powerViol
+	}
+	if !math.IsNaN(s.xBound) {
+		d += s.mult.Gamma * noiseViol
+	}
+	if s.gammaV != nil {
+		for v, gv := range s.gammaV {
+			if gv > 0 {
+				d += gv * (s.perNetNoise(v) - s.vBound[v])
+			}
+		}
+	}
+	return d
+}
+
+// perNetNoise returns Nᵥ(x) = Σ_{j∈N(v)} wᵥⱼ·ĉᵥⱼ(x_v+x_j) for wire v,
+// assembled from the evaluator's per-node coupling sums.
+func (s *Solver) perNetNoise(v int) float64 {
+	return s.ev.CHat[v]*s.ev.X[v] + s.ev.CNbr[v]
+}
+
+// perNetPass returns the largest relative per-net violation and, when
+// stepping, also updates every γᵥ with the trust-region rule and
+// accumulates the active normalized subgradient norm.
+func (s *Solver) perNetPass(rho float64, step bool) (maxRel, normSq float64) {
+	if s.gammaV == nil {
+		return 0, 0
+	}
+	for v := range s.gammaV {
+		xb := s.vBound[v]
+		if math.IsNaN(xb) {
+			continue
+		}
+		viol := s.perNetNoise(v) - xb
+		if rel := viol / xb; rel > maxRel {
+			maxRel = rel
+		}
+		if viol > 0 || s.gammaV[v] > 0 {
+			n := viol / xb
+			normSq += n * n
+		}
+		if step {
+			s.gammaV[v] = lagrange.StepScalar(s.gammaV[v], viol, rho/xb, xb, s.mult.Trust, true)
+		}
+	}
+	return maxRel, normSq
+}
+
+// Run executes Algorithm OGWS until the duality gap is below Epsilon or
+// MaxIterations is reached.
+func (s *Solver) Run() (*Result, error) {
+	ev := s.ev
+	g := ev.Graph()
+
+	// A1: initial multipliers in the optimality condition (project the
+	// uniform seed onto the flow-conservation cone).
+	s.mult = lagrange.New(g, s.opt.InitMultiplier*s.lamScale)
+	s.mult.ProjectFlow()
+	s.mult.Beta = s.opt.InitBeta * s.betaScale
+	s.mult.Gamma = s.opt.InitGamma * s.gammaScale
+	if s.opt.KeepHistory {
+		s.history = s.history[:0]
+	}
+
+	res := &Result{}
+	sweepsTotal := 0
+	converged := false
+	k := 0
+	bestFeasible := math.Inf(1)
+	// Σαᵢ·Lᵢ bounds the objective from below regardless of constraints —
+	// a tight certificate whenever the solution sits near the size floor.
+	bestDual := 0.0
+	for i := 1; i < g.NumNodes()-1; i++ {
+		if c := g.Comp(i); c.Kind.Sizable() {
+			bestDual += c.AreaCoeff * c.Lo
+		}
+	}
+	var bestX []float64
+	damp := 1.0        // RPROP-style oscillation damping for adaptive steps
+	prevFeasible := -1 // -1 unknown, else 0/1
+	var area, gap, dual float64
+	for k = 1; k <= s.opt.MaxIterations; k++ {
+		// A2: merged node multipliers.
+		s.mult.NodeSums(s.lambda)
+		// A3: solve the subproblem; arrival times are computed by the
+		// evaluator as part of LRS's final Recompute.
+		sw := s.LRS()
+		sweepsTotal += sw
+
+		area = ev.Area()
+		powerViol, noiseViol := 0.0, 0.0
+		if !math.IsNaN(s.pBound) {
+			powerViol = ev.TotalCap() - s.pBound
+		}
+		if !math.IsNaN(s.xBound) {
+			noiseViol = ev.NoiseLinear() - s.xBound
+		}
+		dual = s.dual(area, powerViol, noiseViol)
+		gap = math.Abs(area-dual) / math.Max(area, 1e-12)
+
+		// Relative primal feasibility: the duality gap alone can dip below
+		// ε while a constraint multiplier is still climbing, so "within 1%
+		// error" requires both the gap and the violations to be small.
+		feas := math.Max(0, ev.MaxArrival()-s.opt.A0) / s.opt.A0
+		if !math.IsNaN(s.pBound) {
+			feas = math.Max(feas, powerViol/s.pBound)
+		}
+		if !math.IsNaN(s.xBound) {
+			feas = math.Max(feas, noiseViol/s.xBound)
+		}
+		perNetRel, perNetNormSq := s.perNetPass(0, false)
+		feas = math.Max(feas, perNetRel)
+
+		if dual > bestDual {
+			bestDual = dual
+		}
+		if feas <= s.opt.Epsilon && area < bestFeasible {
+			bestFeasible = area
+			bestX = append(bestX[:0], ev.X...)
+		}
+		// Detect feasible↔infeasible flapping: the adaptive step is
+		// straddling the dual kink, so shrink it geometrically; recover
+		// slowly while the state is stable.
+		nowFeasible := 0
+		if feas <= s.opt.Epsilon {
+			nowFeasible = 1
+		}
+		if prevFeasible >= 0 {
+			if nowFeasible != prevFeasible {
+				damp *= 0.6
+				if damp < 0.01 {
+					damp = 0.01
+				}
+			} else if damp < 1 {
+				damp *= 1.1
+				if damp > 1 {
+					damp = 1
+				}
+			}
+		}
+		prevFeasible = nowFeasible
+
+		rho := s.opt.Step(k)
+		if s.opt.KeepHistory {
+			s.history = append(s.history, IterStats{
+				K: k, Rho: rho, Area: area, DelayPs: ev.MaxArrival(),
+				PowerCapFF: ev.TotalCap(), NoiseLinFF: ev.NoiseLinear(),
+				Dual: dual, Gap: gap, LRSSweeps: sw,
+			})
+		}
+		// A7: stop when a certified ε-optimal feasible solution exists —
+		// either the current iterate closes the gap (the paper's check,
+		// with feasibility required) or the best feasible iterate is
+		// within ε of the best dual lower bound.
+		if gap <= s.opt.Epsilon && feas <= s.opt.Epsilon {
+			converged = true
+			break
+		}
+		if !math.IsInf(bestFeasible, 1) &&
+			(bestFeasible-bestDual)/bestFeasible <= s.opt.Epsilon {
+			converged = true
+			gap = math.Max(0, bestFeasible-bestDual) / bestFeasible
+			break
+		}
+		// A4: subgradient updates. The trust corridor shrinks toward 1 so
+		// adaptive steps anneal from global travel to local refinement;
+		// Σ log(trustₖ) diverges, so reachability is never lost.
+		s.mult.Trust = 1 + 4/math.Pow(float64(k), 0.75)
+		if s.opt.Polyak {
+			// Adaptive Polyak step in the bound-normalized multiplier
+			// space: ρ = θ·(f̂ − D)/‖h‖².
+			fHat := bestFeasible
+			if math.IsInf(fHat, 1) {
+				fHat = area * (1 + feas)
+			}
+			normSq := s.mult.DelayGradNormSq(ev.A, ev.D, s.opt.A0) + perNetNormSq
+			if !math.IsNaN(s.pBound) {
+				n := powerViol / s.pBound
+				if n > 0 || s.mult.Beta > 0 {
+					normSq += n * n
+				}
+			}
+			if !math.IsNaN(s.xBound) {
+				n := noiseViol / s.xBound
+				if n > 0 || s.mult.Gamma > 0 {
+					normSq += n * n
+				}
+			}
+			// Floor with the classic diminishing schedule: when no feasible
+			// iterate exists yet, the f̂ proxy can sit at the dual value and
+			// zero the Polyak numerator, freezing all progress.
+			floor := 0.1 * s.opt.Step(k) * s.lamScale * s.opt.A0
+			if num := fHat - dual; num > 0 && normSq > 1e-18 {
+				rho = math.Max(s.opt.PolyakTheta*num/normSq, floor)
+			} else {
+				rho = 10 * floor
+			}
+			rho *= damp
+			s.mult.StepDelay(ev.A, ev.D, s.opt.A0, rho/s.opt.A0, true)
+			if !math.IsNaN(s.pBound) {
+				s.mult.StepBeta(powerViol, rho/s.pBound, s.pBound, true)
+			}
+			if !math.IsNaN(s.xBound) {
+				s.mult.StepGamma(noiseViol, rho/s.xBound, s.xBound, true)
+			}
+			s.perNetPass(rho, true)
+		} else {
+			// Classic diminishing schedule, scaled to the dual magnitude.
+			s.mult.StepDelay(ev.A, ev.D, s.opt.A0, rho*s.lamScale, s.opt.RelativeViolations)
+			if !math.IsNaN(s.pBound) {
+				s.mult.StepBeta(powerViol, rho*s.betaScale, s.pBound, s.opt.RelativeViolations)
+			}
+			if !math.IsNaN(s.xBound) {
+				s.mult.StepGamma(noiseViol, rho*s.gammaScale, s.xBound, s.opt.RelativeViolations)
+			}
+			s.perNetPass(rho*s.lamScale*s.opt.A0, true)
+		}
+		// A5: project back onto the optimality condition.
+		s.mult.ProjectFlow()
+	}
+	if k > s.opt.MaxIterations {
+		k = s.opt.MaxIterations
+	}
+
+	// Dual polish: the dual function is concave along the scaling ray
+	// t·(λ,β,γ), and every point on it is a valid lower bound; a short
+	// grid search often recovers a much tighter certificate than the final
+	// subgradient iterate, especially on large circuits where the flow
+	// distillation is slow.
+	if !converged && !math.IsInf(bestFeasible, 1) {
+		if d := s.polishDual(); d > bestDual {
+			bestDual = d
+		}
+		if (bestFeasible-bestDual)/bestFeasible <= s.opt.Epsilon {
+			converged = true
+		}
+		gap = math.Abs(bestFeasible-bestDual) / bestFeasible
+		dual = bestDual
+	}
+
+	// Report the best feasible iterate when one exists; the last LRS
+	// minimizer can sit slightly infeasible even with near-optimal
+	// multipliers.
+	if bestX != nil {
+		if err := ev.SetSizes(bestX); err != nil {
+			return nil, err
+		}
+		ev.Recompute()
+		area = ev.Area()
+		dual = math.Max(bestDual, dual)
+		if area > 0 {
+			gap = math.Abs(area-dual) / area
+		}
+	}
+
+	res.X = append([]float64(nil), ev.X...)
+	res.Iterations = k
+	res.Converged = converged
+	res.Gap = gap
+	res.Dual = dual
+	res.Area = area
+	res.DelayPs = ev.MaxArrival()
+	res.PowerCapFF = ev.TotalCap()
+	res.NoiseLinFF = ev.NoiseLinear()
+	res.NoiseExact = ev.NoiseExact()
+	res.DelayViolation = math.Max(0, ev.MaxArrival()-s.opt.A0)
+	if !math.IsNaN(s.pBound) {
+		res.PowerViolation = math.Max(0, ev.TotalCap()-s.pBound)
+	}
+	if !math.IsNaN(s.xBound) {
+		res.NoiseViolation = math.Max(0, ev.NoiseLinear()-s.xBound)
+	}
+	if s.gammaV != nil {
+		for v := range s.gammaV {
+			if xb := s.vBound[v]; !math.IsNaN(xb) {
+				if viol := s.perNetNoise(v) - xb; viol > res.PerNetNoiseViolation {
+					res.PerNetNoiseViolation = viol
+				}
+			}
+		}
+	}
+	res.LRSSweepsTotal = sweepsTotal
+	res.MemoryBytes = s.memoryBytes()
+	res.History = s.history
+	return res, nil
+}
+
+// polishDual evaluates the dual on a geometric grid of scalings of the
+// final multipliers and returns the best lower bound found.
+func (s *Solver) polishDual() float64 {
+	best := math.Inf(-1)
+	for _, t := range []float64{0.25, 0.4, 0.6, 0.8, 1, 1.25, 1.6, 2.2, 3.2, 4.5} {
+		s.mult.ScaleAll(t)
+		s.mult.NodeSums(s.lambda)
+		s.LRS()
+		area := s.ev.Area()
+		powerViol, noiseViol := 0.0, 0.0
+		if !math.IsNaN(s.pBound) {
+			powerViol = s.ev.TotalCap() - s.pBound
+		}
+		if !math.IsNaN(s.xBound) {
+			noiseViol = s.ev.NoiseLinear() - s.xBound
+		}
+		if d := s.dual(area, powerViol, noiseViol); d > best {
+			best = d
+		}
+		s.mult.ScaleAll(1 / t)
+	}
+	return best
+}
+
+func (s *Solver) memoryBytes() int {
+	b := s.ev.Graph().MemoryBytes()
+	b += s.ev.Couplings().MemoryBytes()
+	b += s.ev.MemoryBytes()
+	if s.mult != nil {
+		b += s.mult.MemoryBytes()
+	}
+	b += (len(s.lambda) + len(s.rup) + len(s.rEff)) * 8
+	b += (len(s.vBound) + len(s.gammaV) + len(s.denV)) * 8
+	return b
+}

@@ -1,0 +1,188 @@
+// Package coupling implements the physical coupling-capacitance model of
+// Section 3.1. For two parallel neighbouring wires i and j with sizes
+// (widths) xᵢ, xⱼ, overlap length lᵢⱼ, centre-to-centre distance dᵢⱼ and
+// unit-length fringing capacitance f̂ᵢⱼ:
+//
+//	cᵢⱼ = f̂ᵢⱼ·lᵢⱼ / (dᵢⱼ − (xᵢ+xⱼ)/2) = c̃ᵢⱼ · (1 − x̄)⁻¹,
+//
+// where c̃ᵢⱼ = f̂ᵢⱼ·lᵢⱼ/dᵢⱼ and x̄ = (xᵢ+xⱼ)/(2dᵢⱼ) < 1. The package
+// provides the exact model, the order-k truncated geometric series that
+// keeps the sizing problem posynomial (the paper uses k = 2:
+// cᵢⱼ ≈ c̃ᵢⱼ(1 + x̄)), and the Theorem-1 error ratio x̄ᵏ.
+package coupling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pair is one coupled wire pair. I and J are circuit node indices of the
+// two wires with I < J, so J plays the paper's dominating-index role
+// (J ∈ I(I)) and each physical pair is stored exactly once.
+type Pair struct {
+	I, J int
+	// CTilde is c̃ᵢⱼ = f̂ᵢⱼ·lᵢⱼ/dᵢⱼ in fF (the size-independent base
+	// coupling).
+	CTilde float64
+	// Dist is dᵢⱼ in µm.
+	Dist float64
+	// Weight scales the pair's contribution to the effective crosstalk;
+	// 1 is the paper's purely physical accounting, 1−similarity(i,j)
+	// models the Miller (opposite switching, ×2) and anti-Miller (same
+	// switching, ×0) effects.
+	Weight float64
+}
+
+// CHat returns ĉᵢⱼ = c̃ᵢⱼ/(2dᵢⱼ), the coefficient of (xᵢ+xⱼ) in the
+// linearized crosstalk constraint.
+func (p Pair) CHat() float64 { return p.CTilde / (2 * p.Dist) }
+
+// XBar returns x̄ = (xᵢ+xⱼ)/(2dᵢⱼ).
+func (p Pair) XBar(xi, xj float64) float64 { return (xi + xj) / (2 * p.Dist) }
+
+// Exact evaluates the exact coupling capacitance c̃·(1−x̄)⁻¹. It returns
+// +Inf when the wires would touch (x̄ ≥ 1).
+func (p Pair) Exact(xi, xj float64) float64 {
+	x := p.XBar(xi, xj)
+	if x >= 1 {
+		return math.Inf(1)
+	}
+	return p.CTilde / (1 - x)
+}
+
+// Approx evaluates the order-k truncation c̃·Σ_{m=0}^{k−1} x̄ᵐ. k must be
+// at least 1; the paper's working model is k = 2.
+func (p Pair) Approx(xi, xj float64, k int) float64 {
+	x := p.XBar(xi, xj)
+	sum, pow := 0.0, 1.0
+	for m := 0; m < k; m++ {
+		sum += pow
+		pow *= x
+	}
+	return p.CTilde * sum
+}
+
+// ErrorRatio is Theorem 1's bound: (f(x̄) − f̂(x̄))/f(x̄) = x̄ᵏ for the
+// order-k truncation of (1−x̄)⁻¹.
+func ErrorRatio(xbar float64, k int) float64 { return math.Pow(xbar, float64(k)) }
+
+// Validate reports structural problems with the pair.
+func (p Pair) Validate() error {
+	if p.I < 0 || p.J <= p.I {
+		return fmt.Errorf("coupling: pair (%d,%d) must satisfy 0 ≤ I < J", p.I, p.J)
+	}
+	if p.CTilde <= 0 {
+		return fmt.Errorf("coupling: pair (%d,%d) needs positive c̃, got %g", p.I, p.J, p.CTilde)
+	}
+	if p.Dist <= 0 {
+		return fmt.Errorf("coupling: pair (%d,%d) needs positive distance, got %g", p.I, p.J, p.Dist)
+	}
+	if p.Weight < 0 {
+		return fmt.Errorf("coupling: pair (%d,%d) has negative weight %g", p.I, p.J, p.Weight)
+	}
+	return nil
+}
+
+// Set indexes a collection of coupling pairs by wire for O(1) neighbourhood
+// lookup — the paper's N(i) and I(i) sets.
+type Set struct {
+	pairs     []Pair
+	neighbors map[int][]int32 // wire node -> indices into pairs
+}
+
+// NewSet validates the pairs, rejects duplicates, and builds the index.
+func NewSet(pairs []Pair) (*Set, error) {
+	s := &Set{pairs: append([]Pair(nil), pairs...), neighbors: make(map[int][]int32)}
+	seen := make(map[[2]int]bool, len(pairs))
+	for idx, p := range s.pairs {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		key := [2]int{p.I, p.J}
+		if seen[key] {
+			return nil, fmt.Errorf("coupling: duplicate pair (%d,%d)", p.I, p.J)
+		}
+		seen[key] = true
+		s.neighbors[p.I] = append(s.neighbors[p.I], int32(idx))
+		s.neighbors[p.J] = append(s.neighbors[p.J], int32(idx))
+	}
+	return s, nil
+}
+
+// Pairs returns the underlying pairs. The slice must not be modified.
+func (s *Set) Pairs() []Pair { return s.pairs }
+
+// Len returns the number of pairs.
+func (s *Set) Len() int { return len(s.pairs) }
+
+// Neighbors returns the indices (into Pairs) of every pair touching the
+// given wire node — the paper's N(wire). The slice must not be modified.
+func (s *Set) Neighbors(wire int) []int32 { return s.neighbors[wire] }
+
+// NeighborWires returns the wire nodes adjacent to the given wire, in
+// ascending order.
+func (s *Set) NeighborWires(wire int) []int {
+	var out []int
+	for _, pi := range s.neighbors[wire] {
+		p := s.pairs[pi]
+		if p.I == wire {
+			out = append(out, p.J)
+		} else {
+			out = append(out, p.I)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TotalExact sums weighted exact coupling over all pairs for the size
+// vector x (indexed by circuit node).
+func (s *Set) TotalExact(x []float64) float64 {
+	total := 0.0
+	for _, p := range s.pairs {
+		total += p.Weight * p.Exact(x[p.I], x[p.J])
+	}
+	return total
+}
+
+// TotalApprox sums weighted order-k coupling over all pairs.
+func (s *Set) TotalApprox(x []float64, k int) float64 {
+	total := 0.0
+	for _, p := range s.pairs {
+		total += p.Weight * p.Approx(x[p.I], x[p.J], k)
+	}
+	return total
+}
+
+// TotalLinear is the paper's noise measure after the constant shift:
+// Σ weight·ĉᵢⱼ·(xᵢ+xⱼ). This is the left-hand side of the modified
+// crosstalk constraint (≤ X′) and the quantity reported as "Noise" in
+// Table 1.
+func (s *Set) TotalLinear(x []float64) float64 {
+	total := 0.0
+	for _, p := range s.pairs {
+		total += p.Weight * p.CHat() * (x[p.I] + x[p.J])
+	}
+	return total
+}
+
+// ConstantOffset is Σ weight·c̃ᵢⱼ, the constant the paper subtracts from
+// both sides of the crosstalk constraint: X′ = X_B − ConstantOffset.
+func (s *Set) ConstantOffset() float64 {
+	total := 0.0
+	for _, p := range s.pairs {
+		total += p.Weight * p.CTilde
+	}
+	return total
+}
+
+// MemoryBytes returns the analytic footprint of the set for the Figure-10
+// storage accounting.
+func (s *Set) MemoryBytes() int {
+	b := len(s.pairs) * (2*8 + 3*8)
+	for _, v := range s.neighbors {
+		b += 8 + len(v)*4
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+package coupling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func pair() Pair {
+	return Pair{I: 1, J: 2, CTilde: 10, Dist: 2, Weight: 1}
+}
+
+func TestExactFormula(t *testing.T) {
+	p := pair()
+	// x̄ = (0.5+0.5)/(2·2) = 0.25 → exact = 10/(1−0.25) = 13.333…
+	got := p.Exact(0.5, 0.5)
+	want := 10 / 0.75
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Exact = %g, want %g", got, want)
+	}
+}
+
+func TestExactTouchingWiresInf(t *testing.T) {
+	p := pair()
+	if !math.IsInf(p.Exact(2, 2), 1) {
+		t.Error("touching wires should give +Inf coupling")
+	}
+}
+
+func TestApproxOrders(t *testing.T) {
+	p := pair()
+	xi, xj := 0.5, 0.5 // x̄ = 0.25
+	if got := p.Approx(xi, xj, 1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("k=1: %g, want 10", got)
+	}
+	if got := p.Approx(xi, xj, 2); math.Abs(got-12.5) > 1e-12 {
+		t.Errorf("k=2: %g, want 12.5 (paper's model)", got)
+	}
+	if got := p.Approx(xi, xj, 3); math.Abs(got-13.125) > 1e-12 {
+		t.Errorf("k=3: %g, want 13.125", got)
+	}
+}
+
+// TestErrorRatioTheorem1 is experiment E4: for x̄ = 0.25 the error ratio is
+// below 6.3%, 1.6%, 0.4% and 0.1% for k = 2, 3, 4, 5.
+func TestErrorRatioTheorem1(t *testing.T) {
+	bounds := map[int]float64{2: 0.063, 3: 0.016, 4: 0.004, 5: 0.001}
+	for k, bound := range bounds {
+		if r := ErrorRatio(0.25, k); r > bound {
+			t.Errorf("k=%d: error ratio %g exceeds paper's bound %g", k, r, bound)
+		}
+	}
+}
+
+// TestErrorRatioMatchesDefinition verifies (exact−approx)/exact == x̄ᵏ.
+func TestErrorRatioMatchesDefinition(t *testing.T) {
+	f := func(ctildeRaw, distRaw, xiRaw, xjRaw float64, kRaw uint8) bool {
+		k := int(kRaw)%6 + 1
+		p := Pair{
+			I: 0, J: 1,
+			CTilde: 0.1 + math.Abs(math.Mod(ctildeRaw, 100)),
+			Dist:   0.5 + math.Abs(math.Mod(distRaw, 10)),
+			Weight: 1,
+		}
+		xi := math.Abs(math.Mod(xiRaw, p.Dist*0.9))
+		xj := math.Abs(math.Mod(xjRaw, p.Dist*0.9))
+		if xi+xj >= 2*p.Dist*0.95 {
+			return true
+		}
+		exact := p.Exact(xi, xj)
+		approx := p.Approx(xi, xj, k)
+		gotRatio := (exact - approx) / exact
+		wantRatio := ErrorRatio(p.XBar(xi, xj), k)
+		return math.Abs(gotRatio-wantRatio) <= 1e-9*(1+wantRatio)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApproxIsLowerBound: truncation always underestimates, and higher k is
+// monotonically closer.
+func TestApproxMonotoneInK(t *testing.T) {
+	p := pair()
+	exact := p.Exact(0.8, 0.6)
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		a := p.Approx(0.8, 0.6, k)
+		if a <= prev {
+			t.Fatalf("k=%d: approx %g not increasing (prev %g)", k, a, prev)
+		}
+		if a > exact {
+			t.Fatalf("k=%d: approx %g exceeds exact %g", k, a, exact)
+		}
+		prev = a
+	}
+}
+
+func TestCHat(t *testing.T) {
+	p := pair()
+	if got := p.CHat(); math.Abs(got-2.5) > 1e-12 { // 10/(2·2)
+		t.Errorf("CHat = %g, want 2.5", got)
+	}
+}
+
+func TestPairValidate(t *testing.T) {
+	cases := []Pair{
+		{I: 2, J: 1, CTilde: 1, Dist: 1, Weight: 1}, // J ≤ I
+		{I: 1, J: 1, CTilde: 1, Dist: 1, Weight: 1},
+		{I: -1, J: 1, CTilde: 1, Dist: 1, Weight: 1},
+		{I: 1, J: 2, CTilde: 0, Dist: 1, Weight: 1},
+		{I: 1, J: 2, CTilde: 1, Dist: 0, Weight: 1},
+		{I: 1, J: 2, CTilde: 1, Dist: 1, Weight: -1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate = nil, want error", i, p)
+		}
+	}
+	if err := pair().Validate(); err != nil {
+		t.Errorf("valid pair rejected: %v", err)
+	}
+}
+
+func buildSet(t *testing.T) *Set {
+	t.Helper()
+	s, err := NewSet([]Pair{
+		{I: 1, J: 2, CTilde: 10, Dist: 2, Weight: 1},
+		{I: 2, J: 3, CTilde: 4, Dist: 1, Weight: 0.5},
+		{I: 1, J: 3, CTilde: 2, Dist: 4, Weight: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSetNeighbors(t *testing.T) {
+	s := buildSet(t)
+	if got := s.NeighborWires(2); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("NeighborWires(2) = %v, want [1 3]", got)
+	}
+	if got := s.NeighborWires(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("NeighborWires(1) = %v, want [2 3]", got)
+	}
+	if got := s.NeighborWires(99); got != nil {
+		t.Errorf("NeighborWires(99) = %v, want nil", got)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestSetRejectsDuplicatesAndInvalid(t *testing.T) {
+	if _, err := NewSet([]Pair{
+		{I: 1, J: 2, CTilde: 1, Dist: 1, Weight: 1},
+		{I: 1, J: 2, CTilde: 2, Dist: 2, Weight: 1},
+	}); err == nil {
+		t.Error("duplicate pair accepted")
+	}
+	if _, err := NewSet([]Pair{{I: 1, J: 2, CTilde: -1, Dist: 1, Weight: 1}}); err == nil {
+		t.Error("invalid pair accepted")
+	}
+}
+
+func TestSetTotals(t *testing.T) {
+	s := buildSet(t)
+	x := []float64{0, 1, 1, 1}
+	// Linear: Σ w·ĉ·(xi+xj) = 1·(10/4)·2 + 0.5·(4/2)·2 + 2·(2/8)·2 = 5+2+1 = 8.
+	if got := s.TotalLinear(x); math.Abs(got-8) > 1e-12 {
+		t.Errorf("TotalLinear = %g, want 8", got)
+	}
+	// Offset: Σ w·c̃ = 10 + 2 + 4 = 16.
+	if got := s.ConstantOffset(); math.Abs(got-16) > 1e-12 {
+		t.Errorf("ConstantOffset = %g, want 16", got)
+	}
+	// Exact ≥ approx(k) ≥ linear-ish; sanity relations.
+	exact := s.TotalExact(x)
+	ap2 := s.TotalApprox(x, 2)
+	if exact < ap2 {
+		t.Errorf("exact %g < approx2 %g", exact, ap2)
+	}
+	// approx(k=2) − offset = linear part.
+	if math.Abs((ap2-s.ConstantOffset())-s.TotalLinear(x)) > 1e-12 {
+		t.Errorf("approx2 − offset = %g, want TotalLinear %g", ap2-s.ConstantOffset(), s.TotalLinear(x))
+	}
+}
+
+func TestSetMemoryBytes(t *testing.T) {
+	s := buildSet(t)
+	if s.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}
+
+func BenchmarkCouplingApprox(b *testing.B) {
+	p := pair()
+	for _, k := range []int{2, 3, 5} {
+		b.Run(map[int]string{2: "k2", 3: "k3", 5: "k5"}[k], func(b *testing.B) {
+			sum := 0.0
+			for i := 0; i < b.N; i++ {
+				sum += p.Approx(0.5, 0.7, k)
+			}
+			_ = sum
+		})
+	}
+}

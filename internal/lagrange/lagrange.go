@@ -1,0 +1,320 @@
+// Package lagrange holds the Lagrange-multiplier state of the paper's
+// Section 4: one multiplier λⱼᵢ per circuit-graph edge (timing weights),
+// β for the power constraint, and γ for the crosstalk constraint.
+//
+// Theorem 3 (the Kirchhoff-current-law analogue) requires flow conservation
+// Σ_{k∈output(i)} λᵢₖ = Σ_{j∈input(i)} λⱼᵢ at every node except source and
+// sink. ProjectFlow restores this after a subgradient step with one reverse
+// topological sweep that rescales each node's in-edge multipliers to match
+// its (already final) out-edge sum, preserving non-negativity and the
+// relative weights the subgradient established — timing pressure flows
+// backward from the sink's delay-violation edges.
+package lagrange
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Schedule maps the OGWS iteration number k (1-based) to the subgradient
+// step size ρₖ. The paper requires ρₖ → 0 with Σρₖ = ∞.
+type Schedule func(k int) float64
+
+// InverseK returns ρₖ = c/k (satisfies the paper's conditions).
+func InverseK(c float64) Schedule {
+	return func(k int) float64 { return c / float64(k) }
+}
+
+// InverseSqrtK returns ρₖ = c/√k (satisfies the paper's conditions and
+// converges faster in practice).
+func InverseSqrtK(c float64) Schedule {
+	return func(k int) float64 { return c / math.Sqrt(float64(k)) }
+}
+
+// Constant returns ρₖ = c. It violates ρₖ → 0 and exists for ablations.
+func Constant(c float64) Schedule {
+	return func(k int) float64 { return c }
+}
+
+type edgeRef struct {
+	node int32 // head node whose in-edge list holds the multiplier
+	pos  int32 // index within that in-edge list
+}
+
+// Multipliers is the full multiplier state for one circuit graph.
+type Multipliers struct {
+	g *circuit.Graph
+	// Edge[i][k] is λ for the k-th in-edge of node i (parallel to g.In(i)).
+	Edge [][]float64
+	// Beta is the power multiplier, Gamma the crosstalk multiplier.
+	Beta, Gamma float64
+	// Trust is the per-step multiplicative corridor in relative mode: a
+	// positive multiplier may change by at most this factor (and at least
+	// its inverse) per step. Zero means the default of 2. Shrinking it
+	// toward 1 over iterations turns adaptive-step oscillation into
+	// geometric convergence.
+	Trust float64
+
+	out [][]edgeRef // out-edge multiplier locations per node
+}
+
+// New allocates multipliers for the graph, with every edge multiplier set
+// to init (β and γ start at zero; set them directly).
+func New(g *circuit.Graph, init float64) *Multipliers {
+	nn := g.NumNodes()
+	m := &Multipliers{
+		g:    g,
+		Edge: make([][]float64, nn),
+		out:  make([][]edgeRef, nn),
+	}
+	for i := 0; i < nn; i++ {
+		in := g.In(i)
+		m.Edge[i] = make([]float64, len(in))
+		for k := range in {
+			m.Edge[i][k] = init
+			j := int(in[k])
+			m.out[j] = append(m.out[j], edgeRef{int32(i), int32(k)})
+		}
+	}
+	return m
+}
+
+// NodeSums fills dst[i] with the merged node multiplier
+// λᵢ = Σ_{j∈input(i)} λⱼᵢ of Theorem 4 (dst must have NumNodes entries).
+func (m *Multipliers) NodeSums(dst []float64) {
+	for i := range m.Edge {
+		s := 0.0
+		for _, v := range m.Edge[i] {
+			s += v
+		}
+		dst[i] = s
+	}
+}
+
+// SinkFlow returns λ_m = Σ_{j∈input(m)} λⱼm, the total timing flow, which
+// multiplies the −A0 constant of the dual function.
+func (m *Multipliers) SinkFlow() float64 {
+	s := 0.0
+	for _, v := range m.Edge[m.g.SinkID()] {
+		s += v
+	}
+	return s
+}
+
+// StepDelay applies the paper's A4 update to every edge multiplier:
+//
+//	λⱼm += ρ·(aⱼ − A0)              (sink edges)
+//	λⱼᵢ += ρ·(aⱼ + Dᵢ − aᵢ)         (component edges)
+//	λ₀ᵢ += ρ·(Dᵢ − aᵢ)              (driver edges)
+//
+// then clamps at zero. A and D are the arrival-time and delay vectors of
+// the current LRS solution; when relative is true the violations are
+// normalized by A0 and clamped to [−1, 1] (a scale-free trust region that
+// makes one step size work across circuits and prevents overshoot on the
+// large initial violations).
+func (m *Multipliers) StepDelay(a, d []float64, a0, rho float64, relative bool) {
+	g := m.g
+	sink := g.SinkID()
+	scale := 1.0
+	if relative && a0 > 0 {
+		scale = 1 / a0
+	}
+	for i := 1; i < g.NumNodes(); i++ {
+		in := g.In(i)
+		for k := range in {
+			j := int(in[k])
+			var viol float64
+			switch {
+			case i == sink:
+				viol = a[j] - a0
+			case j == 0: // driver i's source edge
+				viol = d[i] - a[i]
+			default:
+				viol = a[j] + d[i] - a[i]
+			}
+			viol *= scale
+			if relative {
+				viol = math.Max(-1, math.Min(1, viol))
+			}
+			m.Edge[i][k] = stepValue(m.Edge[i][k], rho*viol, m.trust(), relative)
+		}
+	}
+}
+
+func (m *Multipliers) trust() float64 {
+	if m.Trust > 1 {
+		return m.Trust
+	}
+	return 2
+}
+
+// StepBeta updates the power multiplier with the same trust-region rules
+// as StepDelay.
+func (m *Multipliers) StepBeta(violation, rho, norm float64, relative bool) {
+	m.Beta = StepScalar(m.Beta, violation, rho, norm, m.trust(), relative)
+}
+
+// StepGamma updates the crosstalk multiplier.
+func (m *Multipliers) StepGamma(violation, rho, norm float64, relative bool) {
+	m.Gamma = StepScalar(m.Gamma, violation, rho, norm, m.trust(), relative)
+}
+
+// StepScalar applies a clamped subgradient step to a scalar multiplier and
+// returns the new value: v' = max(0, v + ρ·violation/norm). When relative
+// is true the normalized violation is clamped to [−1, 1] and the change is
+// confined to the [v/trust, v·trust] corridor, matching StepDelay.
+func StepScalar(v, violation, rho, norm, trust float64, relative bool) float64 {
+	if relative && norm > 0 {
+		violation = math.Max(-1, math.Min(1, violation/norm))
+	}
+	return stepValue(v, rho*violation, trust, relative)
+}
+
+// stepValue applies an additive multiplier update. In relative (trust
+// region) mode the new value is additionally confined to [v/trust, v·trust]
+// for positive v: large adaptive steps (e.g. Polyak) otherwise slam a
+// multiplier to zero and rebound past the optimum in a period-2 cycle;
+// the factor corridor turns that into geometric convergence while still
+// allowing growth from zero.
+func stepValue(v, delta, trust float64, relative bool) float64 {
+	nv := v + delta
+	if relative && v > 0 {
+		if nv > trust*v {
+			nv = trust * v
+		} else if nv < v/trust {
+			nv = v / trust
+		}
+	}
+	if nv < 0 {
+		return 0
+	}
+	return nv
+}
+
+// DelayGradNormSq returns the squared norm of the active, A0-normalized
+// delay subgradient: Σ (viol/A0)² over edges, skipping coordinates where
+// the multiplier is zero and the constraint is slack (the projected
+// subgradient is zero there). Used by Polyak-style step sizing.
+func (m *Multipliers) DelayGradNormSq(a, d []float64, a0 float64) float64 {
+	g := m.g
+	sink := g.SinkID()
+	sum := 0.0
+	for i := 1; i < g.NumNodes(); i++ {
+		in := g.In(i)
+		for k := range in {
+			j := int(in[k])
+			var viol float64
+			switch {
+			case i == sink:
+				viol = a[j] - a0
+			case j == 0:
+				viol = d[i] - a[i]
+			default:
+				viol = a[j] + d[i] - a[i]
+			}
+			if viol < 0 && m.Edge[i][k] == 0 {
+				continue
+			}
+			n := viol / a0
+			sum += n * n
+		}
+	}
+	return sum
+}
+
+// ProjectFlow restores Theorem 3's flow conservation with one reverse
+// topological sweep: each node's in-edge multipliers are rescaled so their
+// sum equals the node's (final) out-edge sum. Sink in-edges are free
+// variables and are left untouched; source out-edges are each node's
+// in-flow and follow from conservation at the drivers.
+func (m *Multipliers) ProjectFlow() {
+	nn := m.g.NumNodes()
+	for i := nn - 2; i >= 1; i-- {
+		outSum := 0.0
+		for _, r := range m.out[i] {
+			outSum += m.Edge[r.node][r.pos]
+		}
+		in := m.Edge[i]
+		if len(in) == 0 {
+			continue
+		}
+		inSum := 0.0
+		for _, v := range in {
+			inSum += v
+		}
+		switch {
+		case outSum == 0:
+			for k := range in {
+				in[k] = 0
+			}
+		case inSum > 0:
+			s := outSum / inSum
+			for k := range in {
+				in[k] *= s
+			}
+		default: // no information: distribute evenly
+			even := outSum / float64(len(in))
+			for k := range in {
+				in[k] = even
+			}
+		}
+	}
+}
+
+// ScaleAll multiplies every multiplier (edges, β, γ) by f, moving along
+// the ray t·μ in multiplier space. Flow conservation is preserved.
+func (m *Multipliers) ScaleAll(f float64) {
+	for i := range m.Edge {
+		for k := range m.Edge[i] {
+			m.Edge[i][k] *= f
+		}
+	}
+	m.Beta *= f
+	m.Gamma *= f
+}
+
+// FlowImbalance returns the largest |Σout − Σin| over all nodes that
+// Theorem 3 constrains; zero (up to roundoff) after ProjectFlow.
+func (m *Multipliers) FlowImbalance() float64 {
+	worst := 0.0
+	for i := 1; i < m.g.NumNodes()-1; i++ {
+		outSum := 0.0
+		for _, r := range m.out[i] {
+			outSum += m.Edge[r.node][r.pos]
+		}
+		inSum := 0.0
+		for _, v := range m.Edge[i] {
+			inSum += v
+		}
+		if d := math.Abs(outSum - inSum); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Validate checks non-negativity of every multiplier.
+func (m *Multipliers) Validate() error {
+	for i := range m.Edge {
+		for k, v := range m.Edge[i] {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("lagrange: edge multiplier (%d←%d) = %g", i, m.g.In(i)[k], v)
+			}
+		}
+	}
+	if m.Beta < 0 || m.Gamma < 0 {
+		return fmt.Errorf("lagrange: negative scalar multiplier β=%g γ=%g", m.Beta, m.Gamma)
+	}
+	return nil
+}
+
+// MemoryBytes returns the analytic footprint for Figure-10 accounting.
+func (m *Multipliers) MemoryBytes() int {
+	b := 0
+	for i := range m.Edge {
+		b += len(m.Edge[i])*8 + len(m.out[i])*8
+	}
+	return b + 16
+}

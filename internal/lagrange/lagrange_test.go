@@ -1,0 +1,297 @@
+package lagrange
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+// diamond builds D → w1 → g1, g1 → {w2, w3} → g2, g2 → w4 → out.
+func diamond(t testing.TB) (*circuit.Graph, map[string]int) {
+	t.Helper()
+	b := circuit.NewBuilder()
+	d := b.AddDriver("D", 100)
+	w1 := b.AddWire("w1", 1, 1, 0, 10, 1, 0.1, 10)
+	g1 := b.AddGate("g1", 10, 0.2, 1, 0.1, 10)
+	w2 := b.AddWire("w2", 1, 1, 0, 10, 1, 0.1, 10)
+	w3 := b.AddWire("w3", 1, 1, 0, 10, 1, 0.1, 10)
+	g2 := b.AddGate("g2", 10, 0.2, 1, 0.1, 10)
+	w4 := b.AddWire("w4", 1, 1, 0, 10, 1, 0.1, 10)
+	b.Connect(d, w1)
+	b.Connect(w1, g1)
+	b.Connect(g1, w2)
+	b.Connect(g1, w3)
+	b.Connect(w2, g2)
+	b.Connect(w3, g2)
+	b.Connect(g2, w4)
+	b.MarkOutput(w4, 10)
+	g, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := map[string]int{}
+	for i := 0; i < g.NumNodes(); i++ {
+		id[g.Comp(i).Name] = i
+	}
+	return g, id
+}
+
+func TestProjectFlowConservation(t *testing.T) {
+	g, _ := diamond(t)
+	m := New(g, 1)
+	// Uniform init is not conserved at fan-out/fan-in nodes.
+	if m.FlowImbalance() == 0 {
+		t.Fatal("expected imbalance before projection")
+	}
+	m.ProjectFlow()
+	if imb := m.FlowImbalance(); imb > 1e-12 {
+		t.Fatalf("imbalance after projection = %g", imb)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectFlowPreservesSinkEdges(t *testing.T) {
+	g, _ := diamond(t)
+	m := New(g, 1)
+	sink := g.SinkID()
+	m.Edge[sink][0] = 7
+	m.ProjectFlow()
+	if m.Edge[sink][0] != 7 {
+		t.Errorf("sink edge changed to %g during projection", m.Edge[sink][0])
+	}
+	// Total flow at every cut equals the sink flow.
+	if got := m.SinkFlow(); got != 7 {
+		t.Errorf("SinkFlow = %g, want 7", got)
+	}
+	sums := make([]float64, g.NumNodes())
+	m.NodeSums(sums)
+	// Driver's in-flow must equal total flow (single-path bottom).
+	if d := sums[1]; math.Abs(d-7) > 1e-12 {
+		t.Errorf("driver node sum = %g, want 7", d)
+	}
+}
+
+func TestProjectFlowSplitsEvenlyFromZero(t *testing.T) {
+	g, id := diamond(t)
+	m := New(g, 0) // all zero
+	sink := g.SinkID()
+	m.Edge[sink][0] = 4
+	m.ProjectFlow()
+	if imb := m.FlowImbalance(); imb > 1e-12 {
+		t.Fatalf("imbalance = %g", imb)
+	}
+	// g2 has two in-edges (w2, w3) that must split 2/2.
+	g2 := id["g2"]
+	if len(m.Edge[g2]) != 2 {
+		t.Fatalf("g2 in-degree = %d", len(m.Edge[g2]))
+	}
+	if math.Abs(m.Edge[g2][0]-2) > 1e-12 || math.Abs(m.Edge[g2][1]-2) > 1e-12 {
+		t.Errorf("g2 in-edges = %v, want [2 2]", m.Edge[g2])
+	}
+}
+
+func TestProjectFlowZeroSinkKillsAll(t *testing.T) {
+	g, _ := diamond(t)
+	m := New(g, 3)
+	sink := g.SinkID()
+	m.Edge[sink][0] = 0
+	m.ProjectFlow()
+	sums := make([]float64, g.NumNodes())
+	m.NodeSums(sums)
+	for i := 1; i < g.NumNodes()-1; i++ {
+		if sums[i] != 0 {
+			t.Errorf("node %d sum = %g, want 0", i, sums[i])
+		}
+	}
+}
+
+func TestStepDelayDirections(t *testing.T) {
+	g, id := diamond(t)
+	m := New(g, 1)
+	nn := g.NumNodes()
+	a := make([]float64, nn)
+	d := make([]float64, nn)
+	// Fabricate arrivals: all delays 1, critical path through w2.
+	for i := 1; i < nn-1; i++ {
+		d[i] = 1
+	}
+	a[id["D"]] = 1
+	a[id["w1"]] = 2
+	a[id["g1"]] = 3
+	a[id["w2"]] = 4
+	a[id["w3"]] = 4.0 // tie
+	a[id["g2"]] = 5
+	a[id["w4"]] = 6
+	a[g.SinkID()] = 6
+	const a0 = 5.0 // violated by 1 ps at the sink
+	before := m.Edge[g.SinkID()][0]
+	m.StepDelay(a, d, a0, 0.5, false)
+	after := m.Edge[g.SinkID()][0]
+	if math.Abs(after-(before+0.5*(6-5))) > 1e-12 {
+		t.Errorf("sink edge %g -> %g, want +0.5", before, after)
+	}
+	// Tight component edges (a_j + D_i == a_i) unchanged; others shrink.
+	w2 := id["w2"]
+	if m.Edge[w2][0] != 1 { // a(g1)+D(w2)−a(w2) = 3+1−4 = 0
+		t.Errorf("tight edge changed: %g", m.Edge[w2][0])
+	}
+	// Driver edge: D−a = 0 → unchanged.
+	if m.Edge[id["D"]][0] != 1 {
+		t.Errorf("driver edge changed: %g", m.Edge[id["D"]][0])
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepDelayClampsAtZero(t *testing.T) {
+	g, _ := diamond(t)
+	m := New(g, 0.1)
+	nn := g.NumNodes()
+	a := make([]float64, nn)
+	d := make([]float64, nn)
+	// Huge negative slack on every edge: multipliers must clamp to 0.
+	for i := range a {
+		a[i] = float64(i * 100)
+	}
+	m.StepDelay(a, d, 1e9, 10, false)
+	for i := 1; i < nn; i++ {
+		for _, v := range m.Edge[i] {
+			if v < 0 {
+				t.Fatalf("negative multiplier %g", v)
+			}
+		}
+	}
+}
+
+func TestStepDelayRelativeScaling(t *testing.T) {
+	g, _ := diamond(t)
+	m1 := New(g, 1)
+	m2 := New(g, 1)
+	nn := g.NumNodes()
+	a := make([]float64, nn)
+	d := make([]float64, nn)
+	for i := range a {
+		a[i] = 1000
+	}
+	const a0 = 500.0
+	m1.StepDelay(a, d, a0, 1, false)
+	m2.StepDelay(a, d, a0, 1, true)
+	sink := g.SinkID()
+	abs := m1.Edge[sink][0] - 1 // 500
+	rel := m2.Edge[sink][0] - 1 // 1
+	if math.Abs(abs-500) > 1e-9 {
+		t.Errorf("absolute update = %g, want 500", abs)
+	}
+	if math.Abs(rel-1) > 1e-9 {
+		t.Errorf("relative update = %g, want 1", rel)
+	}
+}
+
+func TestStepScalar(t *testing.T) {
+	if got := StepScalar(1, 10, 0.1, 0, 2, false); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StepScalar = %g, want 2", got)
+	}
+	if got := StepScalar(1, -100, 0.1, 0, 2, false); got != 0 {
+		t.Errorf("StepScalar should clamp to 0, got %g", got)
+	}
+	if got := StepScalar(1, 10, 0.1, 100, 2, true); math.Abs(got-1.01) > 1e-12 {
+		t.Errorf("relative StepScalar = %g, want 1.01", got)
+	}
+	// Trust corridor: a huge relative step saturates at ×trust / ÷trust.
+	if got := StepScalar(1, 1e9, 1e9, 1, 2, true); got != 2 {
+		t.Errorf("corridor up: got %g, want 2", got)
+	}
+	if got := StepScalar(1, -1e9, 1e9, 1, 2, true); got != 0.5 {
+		t.Errorf("corridor down: got %g, want 0.5", got)
+	}
+	// Growth from zero stays additive.
+	if got := StepScalar(0, 5, 1, 10, 2, true); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("growth from zero: got %g, want 0.5", got)
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	if v := InverseK(2)(4); v != 0.5 {
+		t.Errorf("InverseK(2)(4) = %g, want 0.5", v)
+	}
+	if v := InverseSqrtK(2)(4); v != 1 {
+		t.Errorf("InverseSqrtK(2)(4) = %g, want 1", v)
+	}
+	if v := Constant(3)(99); v != 3 {
+		t.Errorf("Constant(3)(99) = %g, want 3", v)
+	}
+	// Paper conditions: ρₖ → 0 for the two admissible schedules.
+	for _, s := range []Schedule{InverseK(1), InverseSqrtK(1)} {
+		if s(1000000) > 0.01 {
+			t.Error("schedule does not vanish")
+		}
+	}
+}
+
+// Property: after any random non-negative perturbation followed by
+// ProjectFlow, conservation holds and all multipliers stay non-negative.
+func TestPropertyProjectionInvariants(t *testing.T) {
+	g, _ := diamond(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(g, 0)
+		for i := 1; i < g.NumNodes(); i++ {
+			for k := range m.Edge[i] {
+				m.Edge[i][k] = rng.Float64() * 10
+			}
+		}
+		m.ProjectFlow()
+		if m.FlowImbalance() > 1e-9 {
+			return false
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: projection is idempotent.
+func TestPropertyProjectionIdempotent(t *testing.T) {
+	g, _ := diamond(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(g, 0)
+		for i := 1; i < g.NumNodes(); i++ {
+			for k := range m.Edge[i] {
+				m.Edge[i][k] = rng.Float64() * 5
+			}
+		}
+		m.ProjectFlow()
+		snap := make([][]float64, len(m.Edge))
+		for i := range m.Edge {
+			snap[i] = append([]float64(nil), m.Edge[i]...)
+		}
+		m.ProjectFlow()
+		for i := range m.Edge {
+			for k := range m.Edge[i] {
+				if math.Abs(m.Edge[i][k]-snap[i][k]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	g, _ := diamond(t)
+	m := New(g, 1)
+	if m.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}

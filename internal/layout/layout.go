@@ -1,0 +1,170 @@
+// Package layout is the geometry substrate the paper obtains from placement
+// and routing: it groups wires into routing channels, assigns them to
+// parallel tracks according to an ordering (stage 1 of the paper's flow),
+// and derives the coupled-pair geometry — overlap length lᵢⱼ,
+// centre-to-centre distance dᵢⱼ, unit fringing f̂ᵢⱼ — that stage 2 consumes.
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/coupling"
+)
+
+// Channel is a routing region whose wires run in parallel on a uniform
+// track grid.
+type Channel struct {
+	// Wires lists the circuit node indices of the wires routed in this
+	// channel.
+	Wires []int32
+	// Pitch is the centre-to-centre distance between adjacent tracks (µm).
+	Pitch float64
+	// Fringe is the unit-length fringing capacitance f̂ᵢⱼ between wires on
+	// adjacent tracks (fF/µm at 1 µm separation; the model divides by the
+	// actual distance).
+	Fringe float64
+	// OverlapFrac is the fraction of the shorter wire's length that runs
+	// parallel to its neighbour (0 < OverlapFrac ≤ 1).
+	OverlapFrac float64
+	// Reach is how many tracks apart two wires may be and still couple;
+	// 1 (the default when zero) couples adjacent tracks only.
+	Reach int
+}
+
+// Validate reports the first problem with the channel's parameters.
+func (ch Channel) Validate(g *circuit.Graph) error {
+	if len(ch.Wires) == 0 {
+		return fmt.Errorf("layout: channel has no wires")
+	}
+	if ch.Pitch <= 0 {
+		return fmt.Errorf("layout: channel pitch must be positive, got %g", ch.Pitch)
+	}
+	if ch.Fringe <= 0 {
+		return fmt.Errorf("layout: channel fringe must be positive, got %g", ch.Fringe)
+	}
+	if ch.OverlapFrac <= 0 || ch.OverlapFrac > 1 {
+		return fmt.Errorf("layout: overlap fraction must be in (0,1], got %g", ch.OverlapFrac)
+	}
+	if ch.Reach < 0 {
+		return fmt.Errorf("layout: reach must be non-negative, got %d", ch.Reach)
+	}
+	seen := map[int32]bool{}
+	for _, w := range ch.Wires {
+		if int(w) < 0 || int(w) >= g.NumNodes() {
+			return fmt.Errorf("layout: wire node %d out of range", w)
+		}
+		if g.Comp(int(w)).Kind != circuit.Wire {
+			return fmt.Errorf("layout: node %d (%s) is a %v, not a wire", w, g.Comp(int(w)).Name, g.Comp(int(w)).Kind)
+		}
+		if seen[w] {
+			return fmt.Errorf("layout: wire %d appears twice in channel", w)
+		}
+		seen[w] = true
+	}
+	return nil
+}
+
+// SimilarityWeight converts a switching similarity in [−1,1] into the
+// effective crosstalk weight 1 − similarity ∈ [0,2]: the Miller effect
+// (opposite switching) doubles the coupling, the anti-Miller effect (same
+// switching) cancels it, and independent switching keeps the physical value.
+func SimilarityWeight(similarity float64) float64 { return 1 - similarity }
+
+// Pairs derives the coupled pairs of a channel from a track assignment.
+// ord is a permutation of positions into ch.Wires: ord[t] occupies track t.
+// Wires up to Reach tracks apart couple, with dᵢⱼ = Pitch·Δtrack,
+// lᵢⱼ = OverlapFrac·min(lᵢ, lⱼ), and c̃ᵢⱼ = Fringe·lᵢⱼ/dᵢⱼ.
+//
+// weight, if non-nil, supplies the per-pair effective crosstalk weight from
+// the wires' switching similarity (use nil for the paper's purely physical
+// weight of 1).
+func Pairs(g *circuit.Graph, ch Channel, ord []int, weight func(a, b int32) float64) ([]coupling.Pair, error) {
+	if err := ch.Validate(g); err != nil {
+		return nil, err
+	}
+	if len(ord) != len(ch.Wires) {
+		return nil, fmt.Errorf("layout: ordering has %d entries for %d wires", len(ord), len(ch.Wires))
+	}
+	seen := make([]bool, len(ch.Wires))
+	for _, p := range ord {
+		if p < 0 || p >= len(ch.Wires) || seen[p] {
+			return nil, fmt.Errorf("layout: ordering is not a permutation of channel positions")
+		}
+		seen[p] = true
+	}
+	reach := ch.Reach
+	if reach == 0 {
+		reach = 1
+	}
+	var pairs []coupling.Pair
+	for t := 0; t < len(ord); t++ {
+		for dt := 1; dt <= reach && t+dt < len(ord); dt++ {
+			a, b := ch.Wires[ord[t]], ch.Wires[ord[t+dt]]
+			i, j := int(a), int(b)
+			if i > j {
+				i, j = j, i
+			}
+			li, lj := g.Comp(i).Length, g.Comp(j).Length
+			l := li
+			if lj < li {
+				l = lj
+			}
+			l *= ch.OverlapFrac
+			if l <= 0 {
+				return nil, fmt.Errorf("layout: wires %d,%d have no overlap length", i, j)
+			}
+			d := ch.Pitch * float64(dt)
+			w := 1.0
+			if weight != nil {
+				w = weight(a, b)
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("layout: negative weight %g for pair (%d,%d)", w, i, j)
+			}
+			if w == 0 {
+				continue // anti-Miller: fully cancelled coupling
+			}
+			pairs = append(pairs, coupling.Pair{
+				I: i, J: j,
+				CTilde: ch.Fringe * l / d,
+				Dist:   d,
+				Weight: w,
+			})
+		}
+	}
+	return pairs, nil
+}
+
+// AllPairs concatenates the coupled pairs of several channels into one
+// coupling set. orderings[c] is the track assignment of channels[c].
+func AllPairs(g *circuit.Graph, channels []Channel, orderings [][]int, weight func(a, b int32) float64) (*coupling.Set, error) {
+	if len(orderings) != len(channels) {
+		return nil, fmt.Errorf("layout: %d orderings for %d channels", len(orderings), len(channels))
+	}
+	inChannel := map[int32]int{}
+	var all []coupling.Pair
+	for ci, ch := range channels {
+		for _, w := range ch.Wires {
+			if prev, dup := inChannel[w]; dup {
+				return nil, fmt.Errorf("layout: wire %d in channels %d and %d", w, prev, ci)
+			}
+			inChannel[w] = ci
+		}
+		ps, err := Pairs(g, ch, orderings[ci], weight)
+		if err != nil {
+			return nil, fmt.Errorf("layout: channel %d: %v", ci, err)
+		}
+		all = append(all, ps...)
+	}
+	return coupling.NewSet(all)
+}
+
+// IdentityOrder returns the identity track assignment for n wires.
+func IdentityOrder(n int) []int {
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	return ord
+}

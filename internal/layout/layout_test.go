@@ -1,0 +1,218 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/coupling"
+)
+
+// fourWireCircuit builds a circuit with four parallel wires of known
+// lengths driven by one driver through a fan-out gate.
+func fourWireCircuit(t testing.TB, lengths []float64) (*circuit.Graph, []int32) {
+	t.Helper()
+	b := circuit.NewBuilder()
+	d := b.AddDriver("d", 100)
+	w0 := b.AddWire("win", 1, 1, 0, 10, 1, 0.1, 10)
+	b.Connect(d, w0)
+	g := b.AddGate("g", 10, 0.2, 1, 0.1, 10)
+	b.Connect(w0, g)
+	var wires []int
+	for i, l := range lengths {
+		w := b.AddWire("w"+string(rune('0'+i)), 0.07*l, 0.024*l, 0.01*l, l, l, 0.1, 10)
+		b.Connect(g, w)
+		b.MarkOutput(w, 10)
+		wires = append(wires, w)
+	}
+	gr, id, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, len(wires))
+	for i, w := range wires {
+		out[i] = int32(id[w])
+	}
+	return gr, out
+}
+
+func TestPairsAdjacent(t *testing.T) {
+	g, wires := fourWireCircuit(t, []float64{100, 80, 120, 60})
+	ch := Channel{Wires: wires, Pitch: 2, Fringe: 0.1, OverlapFrac: 1}
+	ps, err := Pairs(g, ch, IdentityOrder(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("got %d pairs, want 3 (adjacent only)", len(ps))
+	}
+	// First pair: wires of lengths 100 and 80 → overlap 80, d=2,
+	// c̃ = 0.1·80/2 = 4.
+	if math.Abs(ps[0].CTilde-4) > 1e-12 {
+		t.Errorf("pair 0 c̃ = %g, want 4", ps[0].CTilde)
+	}
+	if ps[0].Dist != 2 || ps[0].Weight != 1 {
+		t.Errorf("pair 0 dist/weight = %g/%g, want 2/1", ps[0].Dist, ps[0].Weight)
+	}
+	for _, p := range ps {
+		if p.I >= p.J {
+			t.Errorf("pair (%d,%d) not normalized", p.I, p.J)
+		}
+	}
+}
+
+func TestPairsReach2(t *testing.T) {
+	g, wires := fourWireCircuit(t, []float64{100, 100, 100, 100})
+	ch := Channel{Wires: wires, Pitch: 2, Fringe: 0.1, OverlapFrac: 0.5, Reach: 2}
+	ps, err := Pairs(g, ch, IdentityOrder(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// adjacent: 3 pairs at d=2; next-adjacent: 2 pairs at d=4.
+	if len(ps) != 5 {
+		t.Fatalf("got %d pairs, want 5", len(ps))
+	}
+	d2, d4 := 0, 0
+	for _, p := range ps {
+		switch p.Dist {
+		case 2:
+			d2++
+			if math.Abs(p.CTilde-2.5) > 1e-12 { // 0.1·50/2
+				t.Errorf("adjacent c̃ = %g, want 2.5", p.CTilde)
+			}
+		case 4:
+			d4++
+			if math.Abs(p.CTilde-1.25) > 1e-12 { // 0.1·50/4
+				t.Errorf("next-adjacent c̃ = %g, want 1.25", p.CTilde)
+			}
+		default:
+			t.Errorf("unexpected distance %g", p.Dist)
+		}
+	}
+	if d2 != 3 || d4 != 2 {
+		t.Errorf("distance histogram d2=%d d4=%d, want 3/2", d2, d4)
+	}
+}
+
+func TestPairsOrderingChangesNeighbours(t *testing.T) {
+	g, wires := fourWireCircuit(t, []float64{100, 100, 100, 100})
+	ch := Channel{Wires: wires, Pitch: 2, Fringe: 0.1, OverlapFrac: 1}
+	a, err := Pairs(g, ch, []int{0, 1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := Pairs(g, ch, []int{0, 2, 1, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(ps []coupling.Pair) map[[2]int]bool {
+		m := map[[2]int]bool{}
+		for _, p := range ps {
+			m[[2]int{p.I, p.J}] = true
+		}
+		return m
+	}
+	ka, kb := key(a), key(bp)
+	if len(ka) != 3 || len(kb) != 3 {
+		t.Fatal("wrong pair counts")
+	}
+	same := true
+	for k := range ka {
+		if !kb[k] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different orderings produced identical adjacency")
+	}
+}
+
+func TestPairsWeighted(t *testing.T) {
+	g, wires := fourWireCircuit(t, []float64{100, 100, 100, 100})
+	ch := Channel{Wires: wires, Pitch: 2, Fringe: 0.1, OverlapFrac: 1}
+	// Weight 0 (perfect anti-Miller) drops the pair entirely.
+	ps, err := Pairs(g, ch, IdentityOrder(4), func(a, b int32) float64 {
+		if a == wires[0] || b == wires[0] {
+			return 0
+		}
+		return 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("got %d pairs, want 2 (one cancelled)", len(ps))
+	}
+	for _, p := range ps {
+		if p.Weight != 2 {
+			t.Errorf("weight = %g, want 2", p.Weight)
+		}
+	}
+	if _, err := Pairs(g, ch, IdentityOrder(4), func(a, b int32) float64 { return -1 }); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestSimilarityWeight(t *testing.T) {
+	if w := SimilarityWeight(1); w != 0 {
+		t.Errorf("anti-Miller weight = %g, want 0", w)
+	}
+	if w := SimilarityWeight(-1); w != 2 {
+		t.Errorf("Miller weight = %g, want 2", w)
+	}
+	if w := SimilarityWeight(0); w != 1 {
+		t.Errorf("independent weight = %g, want 1", w)
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	g, wires := fourWireCircuit(t, []float64{100, 100, 100, 100})
+	good := Channel{Wires: wires, Pitch: 2, Fringe: 0.1, OverlapFrac: 1}
+	cases := []struct {
+		name string
+		ch   Channel
+		ord  []int
+	}{
+		{"no wires", Channel{Pitch: 1, Fringe: 1, OverlapFrac: 1}, nil},
+		{"zero pitch", Channel{Wires: wires, Fringe: 1, OverlapFrac: 1}, IdentityOrder(4)},
+		{"zero fringe", Channel{Wires: wires, Pitch: 1, OverlapFrac: 1}, IdentityOrder(4)},
+		{"bad overlap", Channel{Wires: wires, Pitch: 1, Fringe: 1, OverlapFrac: 1.5}, IdentityOrder(4)},
+		{"negative reach", Channel{Wires: wires, Pitch: 1, Fringe: 1, OverlapFrac: 1, Reach: -1}, IdentityOrder(4)},
+		{"dup wire", Channel{Wires: []int32{wires[0], wires[0]}, Pitch: 1, Fringe: 1, OverlapFrac: 1}, IdentityOrder(2)},
+		{"not a wire", Channel{Wires: []int32{1}, Pitch: 1, Fringe: 1, OverlapFrac: 1}, IdentityOrder(1)},
+		{"bad ordering len", good, IdentityOrder(3)},
+		{"not permutation", good, []int{0, 0, 1, 2}},
+		{"out of range perm", good, []int{0, 1, 2, 9}},
+	}
+	for _, c := range cases {
+		if _, err := Pairs(g, c.ch, c.ord, nil); err == nil {
+			t.Errorf("%s: Pairs succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	g, wires := fourWireCircuit(t, []float64{100, 100, 100, 100})
+	chans := []Channel{
+		{Wires: wires[:2], Pitch: 2, Fringe: 0.1, OverlapFrac: 1},
+		{Wires: wires[2:], Pitch: 3, Fringe: 0.2, OverlapFrac: 1},
+	}
+	set, err := AllPairs(g, chans, [][]int{IdentityOrder(2), IdentityOrder(2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("AllPairs produced %d pairs, want 2", set.Len())
+	}
+	// Wire in two channels rejected.
+	bad := []Channel{
+		{Wires: wires[:2], Pitch: 2, Fringe: 0.1, OverlapFrac: 1},
+		{Wires: wires[1:], Pitch: 3, Fringe: 0.2, OverlapFrac: 1},
+	}
+	if _, err := AllPairs(g, bad, [][]int{IdentityOrder(2), IdentityOrder(3)}, nil); err == nil {
+		t.Error("overlapping channels accepted")
+	}
+	if _, err := AllPairs(g, chans, [][]int{IdentityOrder(2)}, nil); err == nil {
+		t.Error("mismatched orderings accepted")
+	}
+}

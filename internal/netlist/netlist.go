@@ -1,0 +1,266 @@
+// Package netlist provides a gate-level combinational netlist: the ISCAS85
+// .bench file format (reader and writer), a small gate library, and the
+// elaboration into the sized circuit graph of package circuit.
+//
+// Elaboration follows the paper's component accounting: every connection
+// from a driving net (primary input or gate output) to a gate input becomes
+// one wire component, and every primary-output connection becomes one wire
+// component feeding the output load. Hence #wires = Σ gate fan-ins + #POs,
+// which reproduces the gate/wire counts reported in Table 1.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the ISCAS85 gate library. Input is a pseudo-gate for
+// primary inputs; DFF outputs are treated as pseudo-inputs and DFF inputs as
+// pseudo-outputs, the standard way of extracting the combinational core.
+type GateType uint8
+
+const (
+	Input GateType = iota
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+)
+
+var typeNames = map[GateType]string{
+	Input: "INPUT", Buf: "BUF", Not: "NOT", And: "AND", Nand: "NAND",
+	Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+}
+
+var typeByName = map[string]GateType{
+	"INPUT": Input, "BUF": Buf, "BUFF": Buf, "NOT": Not, "INV": Not,
+	"AND": And, "NAND": Nand, "OR": Or, "NOR": Nor, "XOR": Xor, "XNOR": Xnor,
+}
+
+// String returns the canonical .bench spelling of the gate type.
+func (t GateType) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("GATE(%d)", uint8(t))
+}
+
+// MinFanin returns the minimum legal fan-in for the type.
+func (t GateType) MinFanin() int {
+	switch t {
+	case Input:
+		return 0
+	case Buf, Not:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MaxFanin returns the maximum legal fan-in (0 means unbounded).
+func (t GateType) MaxFanin() int {
+	switch t {
+	case Input:
+		return 0
+	case Buf, Not:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Gate is one node of the netlist. Fanin holds indices into Netlist.Gates.
+type Gate struct {
+	Name  string
+	Type  GateType
+	Fanin []int32
+}
+
+// Netlist is a combinational gate-level netlist. Gates is stored in
+// topological order after Finalize.
+type Netlist struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int32 // indices of Input pseudo-gates
+	Outputs []int32 // indices of primary-output nets
+	byName  map[string]int32
+}
+
+// Index returns the gate index for a net name, or -1.
+func (n *Netlist) Index(name string) int {
+	if i, ok := n.byName[name]; ok {
+		return int(i)
+	}
+	return -1
+}
+
+// Fanouts computes, for every gate, the list of gates it feeds.
+func (n *Netlist) Fanouts() [][]int32 {
+	out := make([][]int32, len(n.Gates))
+	for gi := range n.Gates {
+		for _, f := range n.Gates[gi].Fanin {
+			out[f] = append(out[f], int32(gi))
+		}
+	}
+	return out
+}
+
+// Levels returns each gate's logic level (inputs are level 0) and the
+// maximum level.
+func (n *Netlist) Levels() ([]int, int) {
+	lv := make([]int, len(n.Gates))
+	maxLv := 0
+	for i := range n.Gates { // topological order after Finalize
+		l := 0
+		for _, f := range n.Gates[i].Fanin {
+			if lv[f]+1 > l {
+				l = lv[f] + 1
+			}
+		}
+		lv[i] = l
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	return lv, maxLv
+}
+
+// Stats summarizes the netlist: primary inputs, outputs, logic gates
+// (excluding Input pseudo-gates), total fan-in connections, and depth.
+type Stats struct {
+	Inputs, Outputs, Gates int
+	Connections            int
+	Depth                  int
+}
+
+// Stats computes netlist statistics. Wires in the paper's accounting equal
+// Connections + Outputs.
+func (n *Netlist) Stats() Stats {
+	s := Stats{Inputs: len(n.Inputs), Outputs: len(n.Outputs)}
+	for _, g := range n.Gates {
+		if g.Type != Input {
+			s.Gates++
+			s.Connections += len(g.Fanin)
+		}
+	}
+	_, s.Depth = n.Levels()
+	return s
+}
+
+// Finalize validates the netlist, builds the name index, and re-sorts Gates
+// topologically (updating all indices). It must be called after manual
+// construction; Parse calls it automatically.
+func (n *Netlist) Finalize() error {
+	ng := len(n.Gates)
+	if ng == 0 {
+		return fmt.Errorf("netlist %s: empty", n.Name)
+	}
+	n.byName = make(map[string]int32, ng)
+	for i, g := range n.Gates {
+		if g.Name == "" {
+			return fmt.Errorf("netlist %s: gate %d has no name", n.Name, i)
+		}
+		if _, dup := n.byName[g.Name]; dup {
+			return fmt.Errorf("netlist %s: duplicate net %q", n.Name, g.Name)
+		}
+		n.byName[g.Name] = int32(i)
+		if g.Type == Input && len(g.Fanin) != 0 {
+			return fmt.Errorf("netlist %s: input %q has fan-in", n.Name, g.Name)
+		}
+		if min := g.Type.MinFanin(); len(g.Fanin) < min {
+			return fmt.Errorf("netlist %s: %s %q has fan-in %d, need at least %d", n.Name, g.Type, g.Name, len(g.Fanin), min)
+		}
+		if max := g.Type.MaxFanin(); max > 0 && len(g.Fanin) > max {
+			return fmt.Errorf("netlist %s: %s %q has fan-in %d, at most %d allowed", n.Name, g.Type, g.Name, len(g.Fanin), max)
+		}
+		for _, f := range g.Fanin {
+			if f < 0 || int(f) >= ng {
+				return fmt.Errorf("netlist %s: %q has out-of-range fan-in %d", n.Name, g.Name, f)
+			}
+		}
+	}
+	if len(n.Inputs) == 0 {
+		return fmt.Errorf("netlist %s: no primary inputs", n.Name)
+	}
+	if len(n.Outputs) == 0 {
+		return fmt.Errorf("netlist %s: no primary outputs", n.Name)
+	}
+	seenIO := map[int32]bool{}
+	for _, i := range n.Inputs {
+		if n.Gates[i].Type != Input {
+			return fmt.Errorf("netlist %s: %q listed as input but is %s", n.Name, n.Gates[i].Name, n.Gates[i].Type)
+		}
+		if seenIO[i] {
+			return fmt.Errorf("netlist %s: duplicate input %q", n.Name, n.Gates[i].Name)
+		}
+		seenIO[i] = true
+	}
+	seenIO = map[int32]bool{}
+	for _, o := range n.Outputs {
+		if o < 0 || int(o) >= ng {
+			return fmt.Errorf("netlist %s: output index %d out of range", n.Name, o)
+		}
+		if seenIO[o] {
+			return fmt.Errorf("netlist %s: duplicate output %q", n.Name, n.Gates[o].Name)
+		}
+		seenIO[o] = true
+	}
+
+	// Topological sort (Kahn), inputs first for determinism.
+	indeg := make([]int, ng)
+	fan := n.Fanouts()
+	for i := range n.Gates {
+		indeg[i] = len(n.Gates[i].Fanin)
+	}
+	order := make([]int32, 0, ng)
+	queue := make([]int32, 0, ng)
+	for i := range n.Gates {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	sort.Slice(queue, func(a, b int) bool { return queue[a] < queue[b] })
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range fan[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != ng {
+		return fmt.Errorf("netlist %s: combinational loop detected", n.Name)
+	}
+	pos := make([]int32, ng) // old index -> new index
+	for newIdx, old := range order {
+		pos[old] = int32(newIdx)
+	}
+	gates := make([]Gate, ng)
+	for old, g := range n.Gates {
+		ng2 := Gate{Name: g.Name, Type: g.Type, Fanin: make([]int32, len(g.Fanin))}
+		for k, f := range g.Fanin {
+			ng2.Fanin[k] = pos[f]
+		}
+		gates[pos[old]] = ng2
+	}
+	n.Gates = gates
+	for k, i := range n.Inputs {
+		n.Inputs[k] = pos[i]
+	}
+	for k, o := range n.Outputs {
+		n.Outputs[k] = pos[o]
+	}
+	sort.Slice(n.Inputs, func(a, b int) bool { return n.Inputs[a] < n.Inputs[b] })
+	sort.Slice(n.Outputs, func(a, b int) bool { return n.Outputs[a] < n.Outputs[b] })
+	for name := range n.byName {
+		n.byName[name] = pos[n.byName[name]]
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Parse reads a netlist in ISCAS85 .bench format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//
+// DFF gates are split into a pseudo-input (the flip-flop output net) and a
+// pseudo-output (its data input), extracting the combinational core. The
+// returned netlist is finalized (validated and topologically ordered).
+func Parse(name string, r io.Reader) (*Netlist, error) {
+	n := &Netlist{Name: name}
+	type pending struct {
+		name   string
+		typ    GateType
+		fanin  []string
+		lineNo int
+	}
+	var (
+		gates       []pending
+		inputNames  []string
+		outputNames []string
+		seen        = map[string]bool{}
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT"):
+			arg, err := parseParen(line[len("INPUT"):])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: INPUT: %v", name, lineNo, err)
+			}
+			inputNames = append(inputNames, arg)
+		case strings.HasPrefix(upper, "OUTPUT"):
+			arg, err := parseParen(line[len("OUTPUT"):])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: OUTPUT: %v", name, lineNo, err)
+			}
+			outputNames = append(outputNames, arg)
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("%s:%d: unrecognized line %q", name, lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.IndexByte(rhs, '(')
+			closeP := strings.LastIndexByte(rhs, ')')
+			if lhs == "" || open <= 0 || closeP < open {
+				return nil, fmt.Errorf("%s:%d: malformed gate line %q", name, lineNo, line)
+			}
+			typName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			if typName == "DFF" {
+				// Combinational extraction: the DFF output becomes a
+				// pseudo-input; its data net becomes a pseudo-output.
+				inputNames = append(inputNames, lhs)
+				arg := strings.TrimSpace(rhs[open+1 : closeP])
+				if arg == "" {
+					return nil, fmt.Errorf("%s:%d: DFF with no input", name, lineNo)
+				}
+				outputNames = append(outputNames, arg)
+				continue
+			}
+			typ, ok := typeByName[typName]
+			if !ok || typ == Input {
+				return nil, fmt.Errorf("%s:%d: unknown gate type %q", name, lineNo, typName)
+			}
+			var fanin []string
+			for _, f := range strings.Split(rhs[open+1:closeP], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("%s:%d: empty fan-in name", name, lineNo)
+				}
+				fanin = append(fanin, f)
+			}
+			if seen[lhs] {
+				return nil, fmt.Errorf("%s:%d: net %q defined twice", name, lineNo, lhs)
+			}
+			seen[lhs] = true
+			gates = append(gates, pending{lhs, typ, fanin, lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+
+	idx := map[string]int32{}
+	addInput := func(nm string) {
+		if _, ok := idx[nm]; ok {
+			return
+		}
+		idx[nm] = int32(len(n.Gates))
+		n.Gates = append(n.Gates, Gate{Name: nm, Type: Input})
+		n.Inputs = append(n.Inputs, idx[nm])
+	}
+	for _, nm := range inputNames {
+		if seen[nm] {
+			return nil, fmt.Errorf("%s: net %q is both INPUT and gate output", name, nm)
+		}
+		addInput(nm)
+	}
+	for _, g := range gates {
+		idx[g.name] = int32(len(n.Gates))
+		n.Gates = append(n.Gates, Gate{Name: g.name, Type: g.typ})
+	}
+	for gi, g := range gates {
+		node := &n.Gates[int(idx[g.name])]
+		_ = gi
+		for _, f := range g.fanin {
+			fi, ok := idx[f]
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: %q uses undefined net %q", name, g.lineNo, g.name, f)
+			}
+			node.Fanin = append(node.Fanin, fi)
+		}
+	}
+	outSeen := map[string]bool{}
+	for _, nm := range outputNames {
+		oi, ok := idx[nm]
+		if !ok {
+			return nil, fmt.Errorf("%s: OUTPUT(%s) references undefined net", name, nm)
+		}
+		if outSeen[nm] {
+			continue
+		}
+		outSeen[nm] = true
+		n.Outputs = append(n.Outputs, oi)
+	}
+	if err := n.Finalize(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func parseParen(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return "", fmt.Errorf("expected (name), got %q", s)
+	}
+	arg := strings.TrimSpace(s[1 : len(s)-1])
+	if arg == "" {
+		return "", fmt.Errorf("empty name")
+	}
+	return arg, nil
+}
+
+// Write emits the netlist in .bench format, reproducing Parse's input up to
+// ordering and comments.
+func (n *Netlist) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", n.Name)
+	ins := append([]int32(nil), n.Inputs...)
+	sort.Slice(ins, func(a, b int) bool { return ins[a] < ins[b] })
+	for _, i := range ins {
+		fmt.Fprintf(bw, "INPUT(%s)\n", n.Gates[i].Name)
+	}
+	for _, o := range n.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", n.Gates[o].Name)
+	}
+	for _, g := range n.Gates {
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for k, f := range g.Fanin {
+			names[k] = n.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

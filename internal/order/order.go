@@ -1,0 +1,227 @@
+// Package order solves the paper's Switching Similarity (SS) problem from
+// Section 3.2: given n wires and the pairwise edge weight
+// weight(i,j) = 1 − similarity(i,j) on the complete graph Kn, find an
+// ordering <w1,…,wn> minimizing the total effective loading
+// Σ weight(wᵢ, wᵢ₊₁) between neighbouring wires — a minimum-weight
+// Hamiltonian path. The problem is NP-hard with no constant-ratio
+// polynomial approximation unless P=NP (paper Theorem 2), so the paper uses
+// the greedy WOSS heuristic; this package also provides an exact Held–Karp
+// solver for small instances (a testing oracle), a 2-opt refinement used for
+// ablations, and a random baseline.
+package order
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Weights is a symmetric pairwise cost on n wires.
+type Weights interface {
+	N() int
+	At(i, j int) float64
+}
+
+// Matrix is a dense symmetric Weights implementation.
+type Matrix struct {
+	n int
+	w []float64
+}
+
+// NewMatrix allocates an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, w: make([]float64, n*n)}
+}
+
+// N returns the number of wires.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the weight between wires i and j.
+func (m *Matrix) At(i, j int) float64 { return m.w[i*m.n+j] }
+
+// Set assigns the symmetric weight between wires i and j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.w[i*m.n+j] = v
+	m.w[j*m.n+i] = v
+}
+
+// FromSimilarity converts a similarity matrix (sᵢⱼ ∈ [−1,1]) into the SS
+// edge weights 1 − sᵢⱼ.
+func FromSimilarity(sim [][]float64) (*Matrix, error) {
+	n := len(sim)
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		if len(sim[i]) != n {
+			return nil, fmt.Errorf("order: similarity row %d has %d entries, want %d", i, len(sim[i]), n)
+		}
+		for j := 0; j < n; j++ {
+			if d := math.Abs(sim[i][j] - sim[j][i]); d > 1e-9 {
+				return nil, fmt.Errorf("order: similarity not symmetric at (%d,%d)", i, j)
+			}
+			m.w[i*n+j] = 1 - sim[i][j]
+		}
+	}
+	return m, nil
+}
+
+// Cost evaluates the total effective loading of an ordering:
+// Σ_{i<n-1} weight(perm[i], perm[i+1]).
+func Cost(w Weights, perm []int) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(perm); i++ {
+		total += w.At(perm[i], perm[i+1])
+	}
+	return total
+}
+
+// WOSS is the paper's wire-ordering heuristic (Figure 7): start with the
+// globally minimum-weight edge, then repeatedly append the unplaced wire
+// closest to the current chain end. Ties break toward lower indices, making
+// the result deterministic. Runs in O(n²).
+func WOSS(w Weights) []int {
+	n := w.N()
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []int{0}
+	}
+	// A1: seed with the minimum-weight edge.
+	bi, bj := 0, 1
+	best := w.At(0, 1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if v := w.At(i, j); v < best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	ord := make([]int, 0, n)
+	used := make([]bool, n)
+	ord = append(ord, bi, bj)
+	used[bi], used[bj] = true, true
+	// A2: greedy nearest-neighbour extension from the chain end.
+	for len(ord) < n {
+		last := ord[len(ord)-1]
+		next, nv := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			if v := w.At(last, j); v < nv {
+				nv, next = v, j
+			}
+		}
+		ord = append(ord, next)
+		used[next] = true
+	}
+	return ord
+}
+
+// MaxExact bounds the instance size Exact accepts (Held–Karp is O(2ⁿ·n²)).
+const MaxExact = 18
+
+// Exact solves the SS problem optimally by Held–Karp dynamic programming
+// over subsets. It returns an error for n > MaxExact.
+func Exact(w Weights) ([]int, error) {
+	n := w.N()
+	if n > MaxExact {
+		return nil, fmt.Errorf("order: Exact limited to n ≤ %d, got %d", MaxExact, n)
+	}
+	switch n {
+	case 0:
+		return nil, nil
+	case 1:
+		return []int{0}, nil
+	}
+	full := 1<<uint(n) - 1
+	dp := make([]float64, (full+1)*n)
+	parent := make([]int8, (full+1)*n)
+	for i := range dp {
+		dp[i] = math.Inf(1)
+	}
+	for v := 0; v < n; v++ {
+		dp[(1<<uint(v))*n+v] = 0
+		parent[(1<<uint(v))*n+v] = -1
+	}
+	for mask := 1; mask <= full; mask++ {
+		for last := 0; last < n; last++ {
+			cur := dp[mask*n+last]
+			if math.IsInf(cur, 1) || mask&(1<<uint(last)) == 0 {
+				continue
+			}
+			for next := 0; next < n; next++ {
+				if mask&(1<<uint(next)) != 0 {
+					continue
+				}
+				nm := mask | 1<<uint(next)
+				if c := cur + w.At(last, next); c < dp[nm*n+next] {
+					dp[nm*n+next] = c
+					parent[nm*n+next] = int8(last)
+				}
+			}
+		}
+	}
+	bestLast, bestCost := 0, math.Inf(1)
+	for last := 0; last < n; last++ {
+		if dp[full*n+last] < bestCost {
+			bestCost, bestLast = dp[full*n+last], last
+		}
+	}
+	ord := make([]int, 0, n)
+	mask, last := full, bestLast
+	for last >= 0 {
+		ord = append(ord, last)
+		p := parent[mask*n+last]
+		mask &^= 1 << uint(last)
+		last = int(p)
+	}
+	for i, j := 0, len(ord)-1; i < j; i, j = i+1, j-1 {
+		ord[i], ord[j] = ord[j], ord[i]
+	}
+	return ord, nil
+}
+
+// TwoOpt refines an ordering by repeatedly reversing segments while that
+// lowers the path cost (classic 2-opt for open paths). Used as an ablation
+// on top of WOSS.
+func TwoOpt(w Weights, perm []int) []int {
+	n := len(perm)
+	ord := append([]int(nil), perm...)
+	if n < 3 {
+		return ord
+	}
+	// edge(a, b) is the path cost between positions a and b; positions
+	// beyond either end contribute nothing (open path).
+	edge := func(a, b int) float64 {
+		if a < 0 || b >= n {
+			return 0
+		}
+		return w.At(ord[a], ord[b])
+	}
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				// Reversing ord[i..j] replaces edges (i-1,i) and (j,j+1)
+				// with (i-1,j) and (i,j+1).
+				delta := edge(i-1, j) + edge(i, j+1) - edge(i-1, i) - edge(j, j+1)
+				if delta < -1e-12 {
+					for a, b := i, j; a < b; a, b = a+1, b-1 {
+						ord[a], ord[b] = ord[b], ord[a]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	return ord
+}
+
+// Random returns a uniformly random ordering of n wires (deterministic in
+// seed), the baseline against which WOSS is measured.
+func Random(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(n)
+}

@@ -1,0 +1,269 @@
+package order
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// figure6 builds the paper's Figure 6 instance on wires {4,5,7,8} (indices
+// 0,1,2,3 here): similarities sim(5,7)=0.93, sim(4,5)=sim(4,7)=0.07,
+// sim(4,8)=-0.07, sim(5,8)=sim(7,8)=-0.93, giving the edge weights
+// (1−similarity) shown in the figure's right-hand graph.
+func figure6() *Matrix {
+	sim := [][]float64{
+		//        4      5      7      8
+		{1.00, 0.07, 0.07, -0.07},
+		{0.07, 1.00, 0.93, -0.93},
+		{0.07, 0.93, 1.00, -0.93},
+		{-0.07, -0.93, -0.93, 1.00},
+	}
+	m, err := FromSimilarity(sim)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+var figure6Names = []string{"4", "5", "7", "8"}
+
+func nameSeq(perm []int) string {
+	s := ""
+	for _, p := range perm {
+		s += figure6Names[p]
+	}
+	return s
+}
+
+// TestWOSSFigure6Example is experiment E5: the paper states the orderings
+// with minimum effective loading are <7,5,4,8> or <5,7,4,8>.
+func TestWOSSFigure6Example(t *testing.T) {
+	m := figure6()
+	got := WOSS(m)
+	seq := nameSeq(got)
+	if seq != "5748" && seq != "7548" && seq != "8457" && seq != "8475" {
+		t.Fatalf("WOSS ordering = <%s>, want <5,7,4,8> or <7,5,4,8> (or reverses)", seq)
+	}
+	wantCost := (1 - 0.93) + (1 - 0.07) + (1 - (-0.07)) // 0.07+0.93+1.07
+	if c := Cost(m, got); math.Abs(c-wantCost) > 1e-9 {
+		t.Errorf("WOSS cost = %g, want %g", c, wantCost)
+	}
+	// The exact optimum agrees.
+	opt, err := Exact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := Cost(m, opt); math.Abs(c-wantCost) > 1e-9 {
+		t.Errorf("Exact cost = %g, want %g", c, wantCost)
+	}
+}
+
+func TestWOSSSmallCases(t *testing.T) {
+	if got := WOSS(NewMatrix(0)); got != nil {
+		t.Errorf("WOSS(0 wires) = %v, want nil", got)
+	}
+	if got := WOSS(NewMatrix(1)); len(got) != 1 || got[0] != 0 {
+		t.Errorf("WOSS(1 wire) = %v, want [0]", got)
+	}
+	m := NewMatrix(2)
+	m.Set(0, 1, 5)
+	if got := WOSS(m); len(got) != 2 {
+		t.Errorf("WOSS(2 wires) = %v", got)
+	}
+}
+
+func TestExactSmallCases(t *testing.T) {
+	if got, err := Exact(NewMatrix(0)); err != nil || got != nil {
+		t.Errorf("Exact(0) = %v, %v", got, err)
+	}
+	if got, err := Exact(NewMatrix(1)); err != nil || len(got) != 1 {
+		t.Errorf("Exact(1) = %v, %v", got, err)
+	}
+	if _, err := Exact(NewMatrix(MaxExact + 1)); err == nil {
+		t.Error("Exact should reject n > MaxExact")
+	}
+}
+
+func isPerm(p []int, n int) bool {
+	if len(p) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func randomWeights(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, 2*rng.Float64()) // like 1−similarity ∈ [0,2]
+		}
+	}
+	return m
+}
+
+// TestWOSSNeverWorseThanMedianRandom sanity-checks that the heuristic beats
+// a random ordering on average.
+func TestWOSSBeatsRandomOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	betterCount := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		n := 5 + rng.Intn(20)
+		m := randomWeights(rng, n)
+		wc := Cost(m, WOSS(m))
+		rc := Cost(m, Random(n, int64(trial)))
+		if wc <= rc {
+			betterCount++
+		}
+	}
+	if betterCount < trials*3/4 {
+		t.Errorf("WOSS beat random in only %d/%d trials", betterCount, trials)
+	}
+}
+
+// Property: WOSS output is a permutation; Exact is never worse than WOSS;
+// TwoOpt never increases cost.
+func TestOrderingProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%9 + 2 // 2..10 so Exact stays fast
+		rng := rand.New(rand.NewSource(seed))
+		m := randomWeights(rng, n)
+		woss := WOSS(m)
+		if !isPerm(woss, n) {
+			return false
+		}
+		opt, err := Exact(m)
+		if err != nil || !isPerm(opt, n) {
+			return false
+		}
+		wCost, oCost := Cost(m, woss), Cost(m, opt)
+		if oCost > wCost+1e-9 {
+			return false // exact worse than heuristic: impossible
+		}
+		two := TwoOpt(m, woss)
+		if !isPerm(two, n) {
+			return false
+		}
+		if Cost(m, two) > wCost+1e-9 {
+			return false // refinement increased cost
+		}
+		if Cost(m, two) < oCost-1e-9 {
+			return false // better than optimal: impossible
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactIsOptimalBruteForce(t *testing.T) {
+	// Cross-check Held–Karp against explicit permutation enumeration.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6) // 2..7
+		m := randomWeights(rng, n)
+		opt, err := Exact(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				if c := Cost(m, perm); c < best {
+					best = c
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		if c := Cost(m, opt); math.Abs(c-best) > 1e-9 {
+			t.Fatalf("n=%d: Exact cost %g, brute force %g", n, c, best)
+		}
+	}
+}
+
+func TestFromSimilarityValidation(t *testing.T) {
+	if _, err := FromSimilarity([][]float64{{1, 0.5}, {0.5}}); err == nil {
+		t.Error("ragged similarity accepted")
+	}
+	if _, err := FromSimilarity([][]float64{{1, 0.5}, {-0.5, 1}}); err == nil {
+		t.Error("asymmetric similarity accepted")
+	}
+	m, err := FromSimilarity([][]float64{{1, -1}, {-1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 {
+		t.Errorf("weight = %g, want 2 for similarity -1", m.At(0, 1))
+	}
+	if m.At(0, 0) != 0 {
+		t.Errorf("self weight = %g, want 0", m.At(0, 0))
+	}
+}
+
+func TestTwoOptFixesBadOrdering(t *testing.T) {
+	// Four points on a line: 0-1-2-3 with distance weights; the ordering
+	// <0,2,1,3> is suboptimal and one reversal fixes it.
+	m := NewMatrix(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			m.Set(i, j, float64(j-i))
+		}
+	}
+	got := TwoOpt(m, []int{0, 2, 1, 3})
+	if c := Cost(m, got); c != 3 {
+		t.Errorf("TwoOpt cost = %g, want 3 (ordering %v)", c, got)
+	}
+}
+
+func TestRandomIsPermutationAndDeterministic(t *testing.T) {
+	a := Random(20, 9)
+	b := Random(20, 9)
+	if !isPerm(a, 20) {
+		t.Fatal("Random not a permutation")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Random not deterministic in seed")
+		}
+	}
+}
+
+func BenchmarkWOSS256(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomWeights(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WOSS(m)
+	}
+}
+
+func BenchmarkExact12(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomWeights(rng, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

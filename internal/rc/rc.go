@@ -1,0 +1,377 @@
+// Package rc is the Elmore-delay RC evaluation engine for sized circuit
+// graphs (Section 2.1 of the paper). For a size vector x it computes, in
+// one linear pass each:
+//
+//   - per-node capacitance cᵢ and effective resistance rᵢ,
+//   - stage-local downstream loads Bᵢ (reverse topological order),
+//   - Elmore node delays Dᵢ = rᵢ·Cᵢ with the paper's stage decomposition
+//     (gates decouple stages; a gate's input capacitance terminates the
+//     stage of each of its fan-in nets),
+//   - arrival times aᵢ = max_{j∈input(i)} aⱼ + Dᵢ and the critical path,
+//   - the weighted upstream resistances Rᵢ = Σ_{k∈upstream(i)} λₖ·rₖ used
+//     by Theorem 5 (forward topological order),
+//   - the totals (area, capacitance/power, crosstalk) of problem P̃.
+//
+// Coupling capacitances enter each wire's own downstream load Cᵢ (their
+// x-dependence is priced by Theorem 5's Σĉᵢⱼxⱼ term) but are not seen by
+// upstream resistances, keeping the evaluated Lagrangian exactly consistent
+// with the paper's optimality conditions; see DESIGN.md §2.
+//
+// All delays are in ps, resistances in Ω, capacitances in fF, sizes in µm.
+package rc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/coupling"
+	"repro/internal/tech"
+)
+
+// Evaluator holds preallocated state for repeated RC evaluation of one
+// circuit. Memory is linear in the circuit size; every pass is linear in
+// nodes plus edges (the paper's "linear runtime per iteration").
+type Evaluator struct {
+	g  *circuit.Graph
+	cs *coupling.Set
+
+	// X is the size vector indexed by node (µm); entries for source,
+	// drivers and sink are ignored. Mutate via SetSize/SetAllSizes.
+	X []float64
+
+	// Per-node electrical state, valid after Recompute.
+	Cap  []float64 // cᵢ = ĉᵢxᵢ (+ fᵢ for wires); 0 for drivers
+	RPs  []float64 // effective resistance in ps/fF (tech.RC · rᵢ)
+	B    []float64 // stage-local load beyond node i's output
+	C    []float64 // Elmore downstream load of node i (self + coupling included)
+	CPr  []float64 // C′ᵢ: the xᵢ-independent, non-neighbour part of Cᵢ
+	D    []float64 // node delay (ps)
+	A    []float64 // arrival time (ps)
+	CNbr []float64 // Σ_{j∈N(i)} wᵢⱼ·ĉᵢⱼ·xⱼ (wires)
+	CHat []float64 // Σ_{j∈N(i)} wᵢⱼ·ĉᵢⱼ (wires; size-independent)
+	CCst []float64 // Σ_{j∈N(i)} wᵢⱼ·c̃ᵢⱼ (wires; size-independent)
+}
+
+// NewEvaluator allocates an evaluator for the graph and coupling set (which
+// may be empty but not nil-pair-invalid; pass an empty set for uncoupled
+// circuits). Sizes start at each component's lower bound.
+func NewEvaluator(g *circuit.Graph, cs *coupling.Set) (*Evaluator, error) {
+	nn := g.NumNodes()
+	e := &Evaluator{
+		g: g, cs: cs,
+		X:   make([]float64, nn),
+		Cap: make([]float64, nn),
+		RPs: make([]float64, nn),
+		B:   make([]float64, nn),
+		C:   make([]float64, nn),
+		CPr: make([]float64, nn),
+		D:   make([]float64, nn),
+		A:   make([]float64, nn),
+	}
+	if cs.Len() > 0 {
+		e.CNbr = make([]float64, nn)
+		e.CHat = make([]float64, nn)
+		e.CCst = make([]float64, nn)
+		for _, p := range cs.Pairs() {
+			for _, v := range [2]int{p.I, p.J} {
+				if v >= nn || g.Comp(v).Kind != circuit.Wire {
+					return nil, fmt.Errorf("rc: coupling pair (%d,%d) touches non-wire node %d", p.I, p.J, v)
+				}
+			}
+			e.CHat[p.I] += p.Weight * p.CHat()
+			e.CHat[p.J] += p.Weight * p.CHat()
+			e.CCst[p.I] += p.Weight * p.CTilde
+			e.CCst[p.J] += p.Weight * p.CTilde
+		}
+	}
+	for i := 0; i < nn; i++ {
+		if c := g.Comp(i); c.Kind.Sizable() {
+			e.X[i] = c.Lo
+		}
+	}
+	return e, nil
+}
+
+// Graph returns the underlying circuit graph.
+func (e *Evaluator) Graph() *circuit.Graph { return e.g }
+
+// Couplings returns the coupling set.
+func (e *Evaluator) Couplings() *coupling.Set { return e.cs }
+
+// SetAllSizes assigns every component the size v clamped to its bounds.
+func (e *Evaluator) SetAllSizes(v float64) {
+	for i := 0; i < e.g.NumNodes(); i++ {
+		c := e.g.Comp(i)
+		if !c.Kind.Sizable() {
+			continue
+		}
+		e.X[i] = math.Min(c.Hi, math.Max(c.Lo, v))
+	}
+}
+
+// SetSizes copies the given size vector (indexed by node) clamping each
+// component to its bounds.
+func (e *Evaluator) SetSizes(x []float64) error {
+	if len(x) != len(e.X) {
+		return fmt.Errorf("rc: size vector has %d entries, want %d", len(x), len(e.X))
+	}
+	for i := 0; i < e.g.NumNodes(); i++ {
+		c := e.g.Comp(i)
+		if !c.Kind.Sizable() {
+			continue
+		}
+		e.X[i] = math.Min(c.Hi, math.Max(c.Lo, x[i]))
+	}
+	return nil
+}
+
+// Recompute refreshes every derived quantity for the current sizes:
+// capacitances and resistances, the stage loads B and delay loads C/C′
+// (reverse topological pass), node delays, and arrival times (forward
+// topological pass).
+func (e *Evaluator) Recompute() {
+	g := e.g
+	nn := g.NumNodes()
+	sink := g.SinkID()
+
+	// Per-node electrical values.
+	for i := 1; i < nn-1; i++ {
+		c := g.Comp(i)
+		switch c.Kind {
+		case circuit.Driver:
+			e.Cap[i] = 0
+			e.RPs[i] = tech.RC * c.RUnit
+		case circuit.Gate:
+			e.Cap[i] = c.CUnit * e.X[i]
+			e.RPs[i] = tech.RC * c.RUnit / e.X[i]
+		case circuit.Wire:
+			e.Cap[i] = c.CUnit*e.X[i] + c.Fringe
+			e.RPs[i] = tech.RC * c.RUnit / e.X[i]
+		}
+	}
+
+	// Neighbour coupling sums (depend on the sizes of the neighbours).
+	if e.cs.Len() > 0 {
+		for i := range e.CNbr {
+			e.CNbr[i] = 0
+		}
+		for _, p := range e.cs.Pairs() {
+			ch := p.Weight * p.CHat()
+			e.CNbr[p.I] += ch * e.X[p.J]
+			e.CNbr[p.J] += ch * e.X[p.I]
+		}
+	}
+
+	// Reverse topological pass: B, C, C′.
+	for i := nn - 1; i >= 1; i-- {
+		c := g.Comp(i)
+		if c.Kind == circuit.Sink {
+			continue
+		}
+		b := c.Load
+		for _, jj := range g.Out(i) {
+			j := int(jj)
+			cj := g.Comp(j)
+			switch cj.Kind {
+			case circuit.Wire:
+				b += e.Cap[j] + e.B[j]
+			case circuit.Gate:
+				b += e.Cap[j]
+			case circuit.Sink:
+				// Load already accounted in c.Load.
+			}
+		}
+		e.B[i] = b
+		switch c.Kind {
+		case circuit.Wire:
+			ccst, chat, cnbr := 0.0, 0.0, 0.0
+			if e.cs.Len() > 0 {
+				ccst, chat, cnbr = e.CCst[i], e.CHat[i], e.CNbr[i]
+			}
+			e.CPr[i] = b + c.Fringe/2 + ccst
+			e.C[i] = e.CPr[i] + cnbr + (c.CUnit*e.X[i])/2 + chat*e.X[i]
+		default: // gate or driver
+			e.CPr[i] = b
+			e.C[i] = b
+		}
+	}
+
+	// Delays and arrival times, forward pass.
+	e.A[0] = 0
+	maxA := 0.0
+	for i := 1; i < nn; i++ {
+		if i == sink {
+			e.D[i] = 0
+			e.A[i] = maxA
+			continue
+		}
+		e.D[i] = e.RPs[i] * e.C[i]
+		a := 0.0
+		for _, j := range g.In(i) {
+			if e.A[j] > a {
+				a = e.A[j]
+			}
+		}
+		e.A[i] = a + e.D[i]
+		if e.isSinkFeeder(i) && e.A[i] > maxA {
+			maxA = e.A[i]
+		}
+	}
+}
+
+func (e *Evaluator) isSinkFeeder(i int) bool {
+	for _, j := range e.g.Out(i) {
+		if int(j) == e.g.SinkID() {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxArrival returns the circuit delay: the largest arrival time among
+// nodes feeding the sink (the paper's critical-path delay D).
+func (e *Evaluator) MaxArrival() float64 { return e.A[e.g.SinkID()] }
+
+// CriticalPath returns the node indices (drivers and components) of a path
+// realizing MaxArrival, from a driver to a sink-feeding node.
+func (e *Evaluator) CriticalPath() []int {
+	g := e.g
+	sink := g.SinkID()
+	// Start at the sink feeder with max arrival.
+	cur, best := -1, math.Inf(-1)
+	for _, j := range g.In(sink) {
+		if e.A[j] > best {
+			best, cur = e.A[j], int(j)
+		}
+	}
+	if cur < 0 {
+		return nil
+	}
+	var rev []int
+	for cur > 0 {
+		rev = append(rev, cur)
+		nxt, bestA := -1, math.Inf(-1)
+		for _, j := range g.In(cur) {
+			if int(j) == 0 {
+				nxt = 0
+				break
+			}
+			if e.A[j] > bestA {
+				bestA, nxt = e.A[j], int(j)
+			}
+		}
+		if nxt <= 0 {
+			break
+		}
+		cur = nxt
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// RequiredTimes computes each node's required arrival time for the bound
+// a0 at the sink, by a reverse pass: req(i) = min over fanouts j of
+// req(j) − D(j), with req = a0 at sink feeders.
+func (e *Evaluator) RequiredTimes(a0 float64) []float64 {
+	g := e.g
+	nn := g.NumNodes()
+	req := make([]float64, nn)
+	for i := range req {
+		req[i] = math.Inf(1)
+	}
+	req[g.SinkID()] = a0
+	for i := nn - 1; i >= 1; i-- {
+		r := math.Inf(1)
+		for _, jj := range g.Out(i) {
+			j := int(jj)
+			var cand float64
+			if j == g.SinkID() {
+				cand = a0
+			} else {
+				cand = req[j] - e.D[j]
+			}
+			if cand < r {
+				r = cand
+			}
+		}
+		if r < req[i] {
+			req[i] = r
+		}
+	}
+	return req
+}
+
+// Area returns Σ αᵢxᵢ over all components (µm²).
+func (e *Evaluator) Area() float64 {
+	total := 0.0
+	for i := 1; i < e.g.NumNodes()-1; i++ {
+		c := e.g.Comp(i)
+		if c.Kind.Sizable() {
+			total += c.AreaCoeff * e.X[i]
+		}
+	}
+	return total
+}
+
+// TotalCap returns Σ cᵢ over all components (fF), the paper's power measure
+// before the V²f scaling.
+func (e *Evaluator) TotalCap() float64 {
+	total := 0.0
+	for i := 1; i < e.g.NumNodes()-1; i++ {
+		if e.g.Comp(i).Kind.Sizable() {
+			total += e.Cap[i]
+		}
+	}
+	return total
+}
+
+// NoiseLinear returns the paper's Table-1 noise measure
+// Σ wᵢⱼ·ĉᵢⱼ·(xᵢ+xⱼ) in fF.
+func (e *Evaluator) NoiseLinear() float64 { return e.cs.TotalLinear(e.X) }
+
+// NoiseExact returns the exact weighted coupling Σ wᵢⱼ·c̃ᵢⱼ(1−x̄)⁻¹ in fF.
+func (e *Evaluator) NoiseExact() float64 { return e.cs.TotalExact(e.X) }
+
+// UpstreamResistance fills dst[i] with the paper's weighted upstream
+// resistance Rᵢ = Σ_{k∈upstream(i)} λₖ·rₖ (in ps/fF, multipliers included),
+// where λ is the per-node merged multiplier vector and upstream is the
+// stage-local set (walks back through wires to the driving gate or driver,
+// inclusive). Runs in one forward topological pass. Gates accumulate the
+// contributions of all their fan-in stages.
+func (e *Evaluator) UpstreamResistance(lambda []float64, dst []float64) {
+	g := e.g
+	nn := g.NumNodes()
+	for i := 0; i < nn; i++ {
+		dst[i] = 0
+	}
+	for i := 1; i < nn-1; i++ {
+		sum := 0.0
+		for _, jj := range g.In(i) {
+			j := int(jj)
+			if j == 0 {
+				continue // source contributes nothing
+			}
+			switch g.Comp(j).Kind {
+			case circuit.Driver, circuit.Gate:
+				sum += lambda[j] * e.RPs[j]
+			case circuit.Wire:
+				sum += dst[j] + lambda[j]*e.RPs[j]
+			}
+		}
+		dst[i] = sum
+	}
+}
+
+// MemoryBytes returns the analytic footprint of the evaluator's arrays for
+// the Figure-10 storage accounting.
+func (e *Evaluator) MemoryBytes() int {
+	n := len(e.X)
+	arrays := 9
+	if e.CNbr != nil {
+		arrays += 3
+	}
+	return arrays * n * 8
+}

@@ -1,0 +1,114 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, mirroring the layout of the paper's Table 1 and Figure 10 series.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// Table1 writes the rows in the paper's format: per-circuit Init/Fin
+// noise, delay, power, area, then iterations, time, and memory, followed
+// by the average-improvement line.
+func Table1(w io.Writer, rows []*bench.Table1Row) error {
+	cols := []string{
+		"Ckt", "#G", "#W", "tot",
+		"Noise Init(pF)", "Noise Fin(pF)",
+		"Delay Init(ps)", "Delay Fin(ps)",
+		"Power Init(mW)", "Power Fin(mW)",
+		"Area Init(um2)", "Area Fin(um2)",
+		"ite", "time(s)", "mem(KB)", "conv",
+	}
+	table := [][]string{cols}
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Gates), fmt.Sprintf("%d", r.Wires), fmt.Sprintf("%d", r.Tot),
+			fmt.Sprintf("%.4f", r.InitNoisePF), fmt.Sprintf("%.4f", r.FinNoisePF),
+			fmt.Sprintf("%.3f", r.InitDelayPs), fmt.Sprintf("%.3f", r.FinDelayPs),
+			fmt.Sprintf("%.3f", r.InitPowerMW), fmt.Sprintf("%.3f", r.FinPowerMW),
+			fmt.Sprintf("%.0f", r.InitAreaUM2), fmt.Sprintf("%.0f", r.FinAreaUM2),
+			fmt.Sprintf("%d", r.Iterations),
+			fmt.Sprintf("%.2f", r.TimeSec),
+			fmt.Sprintf("%.0f", r.MemKB),
+			fmt.Sprintf("%v", r.Converged),
+		})
+	}
+	noise, delay, power, area := bench.Improvements(rows)
+	table = append(table, []string{
+		"Impr(%)", "-", "-", "-",
+		fmt.Sprintf("%.2f%%", noise), "",
+		fmt.Sprintf("%.2f%%", delay), "",
+		fmt.Sprintf("%.2f%%", power), "",
+		fmt.Sprintf("%.2f%%", area), "",
+		"-", "-", "-", "-",
+	})
+	return writeAligned(w, table)
+}
+
+// Figure10 writes both series: circuit size versus memory (a) and versus
+// runtime per iteration (b).
+func Figure10(w io.Writer, pts []bench.Figure10Point) error {
+	table := [][]string{{"Ckt", "#gates+#wires", "storage(MB)", "runtime/iter(s)"}}
+	for _, p := range pts {
+		table = append(table, []string{
+			p.Name,
+			fmt.Sprintf("%d", p.Tot),
+			fmt.Sprintf("%.3f", p.MemMB),
+			fmt.Sprintf("%.4f", p.SecPerIter),
+		})
+	}
+	return writeAligned(w, table)
+}
+
+// Figure10CSV emits the same series in CSV for plotting.
+func Figure10CSV(w io.Writer, pts []bench.Figure10Point) error {
+	if _, err := fmt.Fprintln(w, "name,components,storage_mb,sec_per_iter"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%d,%g,%g\n", p.Name, p.Tot, p.MemMB, p.SecPerIter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeAligned(w io.Writer, table [][]string) error {
+	if len(table) == 0 {
+		return nil
+	}
+	widths := make([]int, len(table[0]))
+	for _, row := range table {
+		for c, cell := range row {
+			if c < len(widths) && len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, row := range table {
+		var sb strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%*s", widths[c], cell))
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+		if ri == 0 {
+			total := 0
+			for _, wd := range widths {
+				total += wd + 2
+			}
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func sampleRows() []*bench.Table1Row {
+	return []*bench.Table1Row{
+		{
+			Name: "c432", Gates: 214, Wires: 426, Tot: 640,
+			InitNoisePF: 0.03, FinNoisePF: 0.003,
+			InitDelayPs: 0.91, FinDelayPs: 0.91,
+			InitPowerMW: 1.44, FinPowerMW: 0.155,
+			InitAreaUM2: 27631, FinAreaUM2: 2786,
+			Iterations: 7, TimeSec: 0.02, MemKB: 183, Converged: true,
+			SecPerIter: 0.003, MemMB: 0.18,
+		},
+		{
+			Name: "c880", Gates: 383, Wires: 729, Tot: 1112,
+			InitNoisePF: 0.05, FinNoisePF: 0.005,
+			InitDelayPs: 1.2, FinDelayPs: 1.19,
+			InitPowerMW: 2.4, FinPowerMW: 0.26,
+			InitAreaUM2: 46000, FinAreaUM2: 4700,
+			Iterations: 11, TimeSec: 0.05, MemKB: 300, Converged: true,
+			SecPerIter: 0.004, MemMB: 0.29,
+		},
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1(&sb, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"c432", "c880", "Impr(%)", "Noise Init(pF)", "640", "1112"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Improvement percentages present: noise (Init−Fin)/Init = 90%.
+	if !strings.Contains(out, "90.00%") {
+		t.Errorf("expected 90%% noise improvement in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header, rule, two rows, improvement line
+		t.Errorf("got %d lines, want 5", len(lines))
+	}
+}
+
+func TestFigure10Rendering(t *testing.T) {
+	pts := bench.Figure10(sampleRows())
+	var sb strings.Builder
+	if err := Figure10(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "storage(MB)") {
+		t.Error("missing storage column")
+	}
+	var csv strings.Builder
+	if err := Figure10CSV(&csv, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "name,components,storage_mb,sec_per_iter\n") {
+		t.Error("bad CSV header")
+	}
+	if !strings.Contains(csv.String(), "c432,640") {
+		t.Errorf("CSV missing row: %s", csv.String())
+	}
+}
+
+func TestWriteAlignedEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := writeAligned(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Error("empty table should write nothing")
+	}
+}
