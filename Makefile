@@ -1,0 +1,24 @@
+# Same entry points CI runs (.github/workflows/ci.yml), for humans.
+GO ?= go
+
+.PHONY: all build test race bench lint
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: a smoke pass, not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...

@@ -14,6 +14,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -41,14 +42,17 @@ func instanceFor(b *testing.B, name string) *bench.Instance {
 }
 
 // BenchmarkTable1 regenerates Table 1 rows: one op = one full OGWS solve.
-// The noise/delay/power/area improvements are attached as metrics.
+// The noise/delay/power/area improvements are attached as metrics. The
+// legacy benchmarks pin Workers to 1: they are the paper-faithful serial
+// measurements (Figure 10's runtime curve); BenchmarkParallel* below own
+// the serial-versus-sharded comparison.
 func BenchmarkTable1(b *testing.B) {
 	for _, name := range table1Circuits {
 		b.Run(name, func(b *testing.B) {
 			spec, _ := bench.SpecByName(name)
 			var last *bench.Table1Row
 			for i := 0; i < b.N; i++ {
-				row, err := bench.RunRow(spec, bench.RunOptions{})
+				row, err := bench.RunRow(spec, bench.RunOptions{Workers: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -71,10 +75,12 @@ func BenchmarkFigure10Runtime(b *testing.B) {
 			bounds := bench.DeriveBounds(inst)
 			opt := core.DefaultOptions(bounds.A0, bounds.NoiseBound, bounds.PowerBound)
 			opt.MaxIterations = 1 // one op = one outer iteration
+			opt.Workers = 1       // the paper's serial per-iteration cost
 			sol, err := core.NewSolver(inst.Eval, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer sol.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sol.Run(); err != nil {
@@ -94,7 +100,7 @@ func BenchmarkFigure10Storage(b *testing.B) {
 			spec, _ := bench.SpecByName(name)
 			var mem float64
 			for i := 0; i < b.N; i++ {
-				row, err := bench.RunRow(spec, bench.RunOptions{MaxIterations: 2})
+				row, err := bench.RunRow(spec, bench.RunOptions{MaxIterations: 2, Workers: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -114,10 +120,12 @@ func BenchmarkLRS(b *testing.B) {
 			inst := instanceFor(b, name)
 			bounds := bench.DeriveBounds(inst)
 			opt := core.DefaultOptions(bounds.A0, bounds.NoiseBound, bounds.PowerBound)
+			opt.Workers = 1 // serial kernel cost; BenchmarkParallelLRS shards it
 			sol, err := core.NewSolver(inst.Eval, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer sol.Close()
 			// Run once to set up multipliers, then time LRS alone.
 			opt2 := opt
 			opt2.MaxIterations = 1
@@ -150,7 +158,7 @@ func BenchmarkAblationNoiseConstraint(b *testing.B) {
 				if mode == "without-noise" {
 					bounds.NoiseBound = 0 // disables γ, CCW'98 baseline
 				}
-				row, err := bench.RunInstance(inst, bench.RunOptions{Bounds: &bounds})
+				row, err := bench.RunInstance(inst, bench.RunOptions{Bounds: &bounds, Workers: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -209,7 +217,7 @@ func BenchmarkAblationWarmStart(b *testing.B) {
 			spec, _ := bench.SpecByName("c432")
 			var sweeps int
 			for i := 0; i < b.N; i++ {
-				row, err := bench.RunRow(spec, bench.RunOptions{WarmStart: mode == "warm"})
+				row, err := bench.RunRow(spec, bench.RunOptions{WarmStart: mode == "warm", Workers: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -228,5 +236,94 @@ func BenchmarkRCRecompute(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.Recompute()
+	}
+}
+
+// parallelWidths are the Workers settings the parallel benchmarks compare:
+// the serial baseline against the full machine. On a multi-core host the
+// workersN case demonstrates the wall-clock speedup of the sharded solver;
+// results are bit-identical across the settings by construction.
+func parallelWidths() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkParallelLRS times the hot kernel — one full LRS subproblem
+// solve on an ISCAS-scale circuit — serial versus sharded across all
+// cores. This is the loop the paper's Figure 10(b) measures, and the one
+// the worker pool accelerates most directly.
+func BenchmarkParallelLRS(b *testing.B) {
+	for _, w := range parallelWidths() {
+		b.Run(fmt.Sprintf("c3540/workers%d", w), func(b *testing.B) {
+			inst := instanceFor(b, "c3540")
+			bounds := bench.DeriveBounds(inst)
+			opt := core.DefaultOptions(bounds.A0, bounds.NoiseBound, bounds.PowerBound)
+			opt.MaxIterations = 1
+			opt.Workers = w
+			sol, err := core.NewSolver(inst.Eval, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sol.Close()
+			if _, err := sol.Run(); err != nil { // establish multipliers
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol.LRS()
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSolve times the full OGWS solve of one circuit at each
+// parallel width: one op = one complete Run from the uniform start.
+func BenchmarkParallelSolve(b *testing.B) {
+	for _, w := range parallelWidths() {
+		b.Run(fmt.Sprintf("c2670/workers%d", w), func(b *testing.B) {
+			inst := instanceFor(b, "c2670")
+			bounds := bench.DeriveBounds(inst)
+			b.ResetTimer()
+			var last *bench.Table1Row
+			for i := 0; i < b.N; i++ {
+				row, err := bench.RunInstance(inst, bench.RunOptions{Bounds: &bounds, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row
+			}
+			b.ReportMetric(float64(last.Iterations), "iters")
+		})
+	}
+}
+
+// BenchmarkTable1Parallel times a whole Table-1-style sweep through the
+// batch driver: one op = building and solving every subset circuit, either
+// one after another (workers1) or spread across the machine with one
+// serial solver per circuit.
+func BenchmarkTable1Parallel(b *testing.B) {
+	specs := make([]bench.Spec, 0, len(table1Circuits))
+	for _, name := range table1Circuits {
+		spec, ok := bench.SpecByName(name)
+		if !ok {
+			b.Fatalf("unknown spec %s", name)
+		}
+		specs = append(specs, spec)
+	}
+	opt := bench.RunOptions{MaxIterations: 60}
+	for _, w := range parallelWidths() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunTable1Parallel(specs, opt, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(specs) {
+					b.Fatalf("got %d rows, want %d", len(rows), len(specs))
+				}
+			}
+		})
 	}
 }

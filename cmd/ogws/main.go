@@ -30,6 +30,7 @@ func main() {
 	a0 := flag.Float64("a0", 0, "delay bound in ps (0 = derived)")
 	noise := flag.Float64("noise", 0, "total crosstalk bound X_B in fF (0 = derived)")
 	power := flag.Float64("power", 0, "power bound P' in fF (0 = derived)")
+	workers := flag.Int("workers", 0, "solver worker goroutines (0 = all cores, 1 = serial; results identical)")
 	flag.Parse()
 
 	var (
@@ -69,7 +70,7 @@ func main() {
 
 	fmt.Printf("circuit %s: %d gates, %d wires\n", inst.Name(), inst.Gates(), inst.Wires())
 	fmt.Printf("bounds: A0=%.4g ps, X_B=%.4g fF, P'=%.4g fF\n", bounds.A0, bounds.NoiseBound, bounds.PowerBound)
-	rep, err := inst.Optimize(bounds)
+	rep, err := inst.OptimizeWith(bounds, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,6 +25,7 @@ func main() {
 	maxIter := flag.Int("maxiter", 0, "cap on OGWS iterations (0 = solver default)")
 	epsilon := flag.Float64("epsilon", 0, "duality-gap precision (0 = paper's 1%)")
 	short := flag.Bool("short", false, "run only the circuits up to ~5k components")
+	parallel := flag.Int("parallel", 1, "circuits solved concurrently (0 = all cores); rows are identical either way")
 	flag.Parse()
 
 	var specs []bench.Spec
@@ -48,15 +49,27 @@ func main() {
 	}
 
 	opt := bench.RunOptions{MaxIterations: *maxIter, Epsilon: *epsilon}
-	rows := make([]*bench.Table1Row, 0, len(specs))
-	for _, s := range specs {
-		row, err := bench.RunRow(s, opt)
-		if err != nil {
-			log.Fatalf("%s: %v", s.Name, err)
+	var rows []*bench.Table1Row
+	if *parallel == 1 {
+		for _, s := range specs {
+			row, err := bench.RunRow(s, opt)
+			if err != nil {
+				log.Fatalf("%s: %v", s.Name, err)
+			}
+			fmt.Fprintf(os.Stderr, "%s done: %d iterations, %.2fs, converged=%v\n",
+				row.Name, row.Iterations, row.TimeSec, row.Converged)
+			rows = append(rows, row)
 		}
-		fmt.Fprintf(os.Stderr, "%s done: %d iterations, %.2fs, converged=%v\n",
-			row.Name, row.Iterations, row.TimeSec, row.Converged)
-		rows = append(rows, row)
+	} else {
+		var err error
+		rows, err = bench.RunTable1Parallel(specs, opt, *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range rows {
+			fmt.Fprintf(os.Stderr, "%s done: %d iterations, %.2fs, converged=%v\n",
+				row.Name, row.Iterations, row.TimeSec, row.Converged)
+		}
 	}
 	if err := report.Table1(os.Stdout, rows); err != nil {
 		log.Fatal(err)

@@ -29,6 +29,7 @@ func main() {
 	nNets := flag.Int("nets", 12, "number of nets to order (a routing channel)")
 	patterns := flag.Int("patterns", 4096, "logic simulation vectors")
 	seed := flag.Int64("seed", 3, "simulation seed")
+	workers := flag.Int("workers", 0, "similarity-matrix worker goroutines (0 = all cores)")
 	flag.Parse()
 
 	var (
@@ -75,7 +76,7 @@ func main() {
 	if len(nets) < 2 {
 		log.Fatal("need at least two nets")
 	}
-	sim := waves.SimilarityMatrix(nets)
+	sim := waves.SimilarityMatrixWorkers(nets, *workers)
 	m, err := order.FromSimilarity(sim)
 	if err != nil {
 		log.Fatal(err)

@@ -49,12 +49,17 @@ func Uniform(ev *rc.Evaluator, size float64) Metrics {
 
 // DelayOnlyLR runs the paper's OGWS algorithm with the noise and power
 // constraints disabled, reproducing plain LR delay-constrained area
-// minimization (the ICCAD'98 baseline).
+// minimization (the ICCAD'98 baseline). It solves serially — a reference
+// measurement, often invoked per circuit inside an already-parallel sweep
+// — and releases the solver before returning.
 func DelayOnlyLR(ev *rc.Evaluator, a0 float64) (*core.Result, error) {
-	sol, err := core.NewSolver(ev, core.DefaultOptions(a0, 0, 0))
+	opt := core.DefaultOptions(a0, 0, 0)
+	opt.Workers = 1
+	sol, err := core.NewSolver(ev, opt)
 	if err != nil {
 		return nil, err
 	}
+	defer sol.Close()
 	return sol.Run()
 }
 

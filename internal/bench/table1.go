@@ -38,6 +38,10 @@ type RunOptions struct {
 	Epsilon float64
 	// WarmStart reuses sizes across OGWS iterations (see core.Options).
 	WarmStart bool
+	// Workers is the solver's parallel width (see core.Options.Workers):
+	// 0 uses every core, 1 runs serially. Results are bit-identical for
+	// every setting.
+	Workers int
 	// Bounds overrides the self-calibrated DeriveBounds when non-nil.
 	Bounds *Bounds
 }
@@ -66,11 +70,13 @@ func RunInstance(inst *Instance, opt RunOptions) (*Table1Row, error) {
 		sopt.Epsilon = opt.Epsilon
 	}
 	sopt.WarmStart = opt.WarmStart
+	sopt.Workers = opt.Workers
 
 	sol, err := core.NewSolver(inst.Eval, sopt)
 	if err != nil {
 		return nil, err
 	}
+	defer sol.Close()
 	start := time.Now()
 	res, err := sol.Run()
 	if err != nil {

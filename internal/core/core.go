@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/circuit"
 	"repro/internal/lagrange"
@@ -88,6 +89,14 @@ type Options struct {
 	Polyak bool
 	// PolyakTheta is the relaxation factor θ ∈ (0, 2); default 1.
 	PolyakTheta float64
+	// Workers is the number of goroutines used for the solver's per-node
+	// parallel loops (the LRS resize sweep, the evaluator's independent
+	// Recompute passes, multiplier node sums, subgradient steps, and
+	// gradient norms). 0 selects runtime.GOMAXPROCS(0); 1 runs serially.
+	// Every reduction is deterministic — maxima are exact under any
+	// grouping and sums are folded in node order from per-node scratch —
+	// so results are bit-identical for every Workers setting.
+	Workers int
 	// AutoScale multiplies the multiplier seeds and subgradient steps by
 	// the problem's natural dual magnitudes: S/A0 for the timing weights
 	// and S/P′, S/X′ for β, γ, where S = Σαᵢ√(LᵢUᵢ) is the geometric
@@ -204,11 +213,18 @@ type Result struct {
 }
 
 // Solver runs OGWS on one evaluator. Create with NewSolver; a Solver is
-// single-goroutine.
+// single-goroutine (the worker pool it drives internally is an
+// implementation detail — no two Solver methods may run concurrently).
+// Call Close when done to release the worker goroutines promptly; a
+// runtime cleanup reclaims them otherwise once the Solver is collected.
 type Solver struct {
 	ev   *rc.Evaluator
 	opt  Options
 	mult *lagrange.Multipliers
+
+	workers int
+	pool    *pool
+	cleanup runtime.Cleanup
 
 	lambda  []float64 // node multiplier sums λᵢ
 	rup     []float64 // weighted upstream resistances Rᵢ
@@ -216,6 +232,12 @@ type Solver struct {
 	pBound  float64   // P′; NaN when disabled
 	rEff    []float64 // tech.RC·r̂ᵢ per node (0 for non-sizable)
 	history []IterStats
+
+	// Parallel-loop scratch: per-shard max reductions and per-node sum
+	// terms (folded serially in index order so totals are independent of
+	// the sharding).
+	shardMax    []float64
+	normScratch []float64
 
 	// Per-net crosstalk extension state (nil when unused).
 	vBound []float64 // X′_v per node; NaN where unconstrained
@@ -233,14 +255,21 @@ func NewSolver(ev *rc.Evaluator, opt Options) (*Solver, error) {
 		return nil, err
 	}
 	g := ev.Graph()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	s := &Solver{
-		ev:     ev,
-		opt:    opt,
-		lambda: make([]float64, g.NumNodes()),
-		rup:    make([]float64, g.NumNodes()),
-		rEff:   make([]float64, g.NumNodes()),
-		xBound: math.NaN(),
-		pBound: math.NaN(),
+		ev:          ev,
+		opt:         opt,
+		workers:     workers,
+		lambda:      make([]float64, g.NumNodes()),
+		rup:         make([]float64, g.NumNodes()),
+		rEff:        make([]float64, g.NumNodes()),
+		xBound:      math.NaN(),
+		pBound:      math.NaN(),
+		shardMax:    make([]float64, workers),
+		normScratch: make([]float64, g.NumNodes()),
 	}
 	for i := 0; i < g.NumNodes(); i++ {
 		if c := g.Comp(i); c.Kind.Sizable() {
@@ -299,12 +328,38 @@ func NewSolver(ev *rc.Evaluator, opt Options) (*Solver, error) {
 			}
 		}
 	}
+	// Spawn the pool and touch the caller's evaluator only once the
+	// options are known-good, so error returns leave no goroutines behind
+	// and no Runner installed. The Runner stays valid after Close: a
+	// closed pool degrades to inline execution, which is bit-identical by
+	// construction.
+	s.pool = newPool(workers)
+	ev.SetRunner(s.pool.rcRunner())
+	if s.pool.parallel() {
+		s.cleanup = runtime.AddCleanup(s, func(p *pool) { p.close() }, s.pool)
+	}
 	return s, nil
 }
 
 // Bounds returns the derived internal bounds (X′, P′); NaN means the
 // corresponding constraint is disabled.
 func (s *Solver) Bounds() (xPrime, pPrime float64) { return s.xBound, s.pBound }
+
+// Workers returns the resolved parallel width the solver runs with.
+func (s *Solver) Workers() int { return s.workers }
+
+// Close releases the solver's worker goroutines. Solvers created with
+// Workers == 1 own no goroutines and Close is a no-op. Calling Close is
+// optional — an unreferenced Solver's workers are reclaimed by the
+// runtime — but deterministic release keeps goroutine counts flat in
+// batch sweeps. The solver keeps working after Close, falling back to
+// serial execution.
+func (s *Solver) Close() {
+	if s.pool.parallel() {
+		s.cleanup.Stop()
+		s.pool.close()
+	}
+}
 
 // LRS solves the Lagrangian relaxation subproblem LRS₂ for the current
 // multipliers (Figure 8) and returns the number of sweeps used. The
@@ -331,19 +386,20 @@ func (s *Solver) LRS() int {
 	if s.gammaV != nil {
 		// Per-net extension: the derivative of Σᵥ γᵥ·Nᵥ(x) with respect to
 		// xᵢ is Σ_{(i,j)} (γᵢ+γⱼ)·wᵢⱼ·ĉᵢⱼ; γ is fixed for the whole LRS
-		// call, so refresh the per-node sums once.
-		for i := range s.denV {
-			s.denV[i] = 0
-		}
-		for _, p := range ev.Couplings().Pairs() {
-			gsum := s.gammaV[p.I] + s.gammaV[p.J]
-			if gsum == 0 {
-				continue
+		// call, so refresh the per-node sums once, gathered per node.
+		s.pool.run(0, g.NumNodes(), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ids, ws := ev.NbrEntries(i)
+				gi := s.gammaV[i]
+				sum := 0.0
+				for k, j := range ids {
+					if gsum := gi + s.gammaV[j]; gsum != 0 {
+						sum += gsum * ws[k]
+					}
+				}
+				s.denV[i] = sum
 			}
-			ch := gsum * p.Weight * p.CHat()
-			s.denV[p.I] += ch
-			s.denV[p.J] += ch
-		}
+		})
 	}
 	sweeps := 0
 	for sweeps < s.opt.LRSMaxSweeps {
@@ -351,47 +407,17 @@ func (s *Solver) LRS() int {
 		// S2: downstream capacitances; S3: upstream resistances.
 		ev.Recompute()
 		ev.UpstreamResistance(s.lambda, s.rup)
-		// S4: closed-form optimal resize of every component.
+		// S4: closed-form optimal resize of every component. The sweep is
+		// Jacobi: each node reads only state frozen by S2/S3 and its own
+		// size, so the shards are independent and the max-reduction exact.
+		shards := s.pool.run(1, g.NumNodes()-1, func(shard, lo, hi int) {
+			s.shardMax[shard] = s.resizeRange(beta, gamma, lo, hi)
+		})
 		maxRel := 0.0
-		for i := 1; i < g.NumNodes()-1; i++ {
-			c := g.Comp(i)
-			if !c.Kind.Sizable() {
-				continue
+		for sh := 0; sh < shards; sh++ {
+			if s.shardMax[sh] > maxRel {
+				maxRel = s.shardMax[sh]
 			}
-			num := s.lambda[i] * s.rEff[i] * (ev.CPr[i] + nbr(ev, i))
-			den := c.AreaCoeff + (beta+s.rup[i])*c.CUnit
-			if ev.CHat != nil {
-				den += gamma * ev.CHat[i]
-			}
-			if s.denV != nil {
-				den += s.denV[i]
-			}
-			var opt float64
-			switch {
-			case den <= 0 && num > 0:
-				opt = c.Hi
-			case num <= 0:
-				opt = c.Lo
-			default:
-				opt = math.Sqrt(num / den)
-			}
-			// Damped update in log space; same fixed point as the pure
-			// xᵢ ← optᵢ assignment, but immune to Jacobi oscillation.
-			x := ev.X[i]
-			if w := s.opt.LRSDamping; w == 1 {
-				x = opt
-			} else {
-				x = math.Exp((1-w)*math.Log(x) + w*math.Log(math.Max(opt, 1e-300)))
-			}
-			if x < c.Lo {
-				x = c.Lo
-			} else if x > c.Hi {
-				x = c.Hi
-			}
-			if rel := math.Abs(x-ev.X[i]) / math.Max(ev.X[i], 1e-12); rel > maxRel {
-				maxRel = rel
-			}
-			ev.X[i] = x
 		}
 		// S5: repeat until no improvement.
 		if maxRel < s.opt.LRSTol {
@@ -400,6 +426,57 @@ func (s *Solver) LRS() int {
 	}
 	ev.Recompute()
 	return sweeps
+}
+
+// resizeRange applies Theorem 5's closed-form optimal resize to nodes
+// [lo, hi) and returns the largest relative size change in the range. Safe
+// on disjoint ranges concurrently: every input (λ, R, C′, the coupling
+// sums) is frozen for the sweep and each node writes only its own xᵢ.
+func (s *Solver) resizeRange(beta, gamma float64, lo, hi int) float64 {
+	ev := s.ev
+	g := ev.Graph()
+	maxRel := 0.0
+	for i := lo; i < hi; i++ {
+		c := g.Comp(i)
+		if !c.Kind.Sizable() {
+			continue
+		}
+		num := s.lambda[i] * s.rEff[i] * (ev.CPr[i] + nbr(ev, i))
+		den := c.AreaCoeff + (beta+s.rup[i])*c.CUnit
+		if ev.CHat != nil {
+			den += gamma * ev.CHat[i]
+		}
+		if s.denV != nil {
+			den += s.denV[i]
+		}
+		var opt float64
+		switch {
+		case den <= 0 && num > 0:
+			opt = c.Hi
+		case num <= 0:
+			opt = c.Lo
+		default:
+			opt = math.Sqrt(num / den)
+		}
+		// Damped update in log space; same fixed point as the pure
+		// xᵢ ← optᵢ assignment, but immune to Jacobi oscillation.
+		x := ev.X[i]
+		if w := s.opt.LRSDamping; w == 1 {
+			x = opt
+		} else {
+			x = math.Exp((1-w)*math.Log(x) + w*math.Log(math.Max(opt, 1e-300)))
+		}
+		if x < c.Lo {
+			x = c.Lo
+		} else if x > c.Hi {
+			x = c.Hi
+		}
+		if rel := math.Abs(x-ev.X[i]) / math.Max(ev.X[i], 1e-12); rel > maxRel {
+			maxRel = rel
+		}
+		ev.X[i] = x
+	}
+	return maxRel
 }
 
 func nbr(ev *rc.Evaluator, i int) float64 {
@@ -444,29 +521,68 @@ func (s *Solver) perNetNoise(v int) float64 {
 	return s.ev.CHat[v]*s.ev.X[v] + s.ev.CNbr[v]
 }
 
+// delayGradNormSq computes the active normalized delay-subgradient norm
+// with the per-node squared terms filled in parallel and folded serially
+// in node order — the same total for every Workers setting.
+func (s *Solver) delayGradNormSq() float64 {
+	nn := s.ev.Graph().NumNodes()
+	s.pool.run(1, nn, func(_, lo, hi int) {
+		s.mult.DelayGradFillRange(s.ev.A, s.ev.D, s.opt.A0, s.normScratch, lo, hi)
+	})
+	return lagrange.DelayGradNormSqFrom(s.normScratch[1:nn])
+}
+
+// stepDelay shards the A4 edge-multiplier update by head node; each node
+// owns its in-edge multipliers, so disjoint ranges never contend.
+func (s *Solver) stepDelay(rho float64, relative bool) {
+	nn := s.ev.Graph().NumNodes()
+	s.pool.run(1, nn, func(_, lo, hi int) {
+		s.mult.StepDelayRange(s.ev.A, s.ev.D, s.opt.A0, rho, relative, lo, hi)
+	})
+}
+
 // perNetPass returns the largest relative per-net violation and, when
 // stepping, also updates every γᵥ with the trust-region rule and
-// accumulates the active normalized subgradient norm.
+// accumulates the active normalized subgradient norm. Each wire's
+// violation and step depend only on its own bound, multiplier, and the
+// frozen evaluator state, so the pass shards cleanly; the squared terms
+// land in per-node scratch and fold in index order, making normSq
+// independent of the sharding.
 func (s *Solver) perNetPass(rho float64, step bool) (maxRel, normSq float64) {
 	if s.gammaV == nil {
 		return 0, 0
 	}
-	for v := range s.gammaV {
-		xb := s.vBound[v]
-		if math.IsNaN(xb) {
-			continue
+	shards := s.pool.run(0, len(s.gammaV), func(shard, lo, hi int) {
+		mr := 0.0
+		for v := lo; v < hi; v++ {
+			xb := s.vBound[v]
+			if math.IsNaN(xb) {
+				s.normScratch[v] = 0
+				continue
+			}
+			viol := s.perNetNoise(v) - xb
+			if rel := viol / xb; rel > mr {
+				mr = rel
+			}
+			if viol > 0 || s.gammaV[v] > 0 {
+				n := viol / xb
+				s.normScratch[v] = n * n
+			} else {
+				s.normScratch[v] = 0
+			}
+			if step {
+				s.gammaV[v] = lagrange.StepScalar(s.gammaV[v], viol, rho/xb, xb, s.mult.Trust, true)
+			}
 		}
-		viol := s.perNetNoise(v) - xb
-		if rel := viol / xb; rel > maxRel {
-			maxRel = rel
+		s.shardMax[shard] = mr
+	})
+	for sh := 0; sh < shards; sh++ {
+		if s.shardMax[sh] > maxRel {
+			maxRel = s.shardMax[sh]
 		}
-		if viol > 0 || s.gammaV[v] > 0 {
-			n := viol / xb
-			normSq += n * n
-		}
-		if step {
-			s.gammaV[v] = lagrange.StepScalar(s.gammaV[v], viol, rho/xb, xb, s.mult.Trust, true)
-		}
+	}
+	for _, t := range s.normScratch[:len(s.gammaV)] {
+		normSq += t
 	}
 	return maxRel, normSq
 }
@@ -483,6 +599,11 @@ func (s *Solver) Run() (*Result, error) {
 	s.mult.ProjectFlow()
 	s.mult.Beta = s.opt.InitBeta * s.betaScale
 	s.mult.Gamma = s.opt.InitGamma * s.gammaScale
+	// The per-net γᵥ are multiplier state too: re-seed them so repeated
+	// Run calls on one solver replay the exact same trajectory.
+	for v := range s.gammaV {
+		s.gammaV[v] = 0
+	}
 	if s.opt.KeepHistory {
 		s.history = s.history[:0]
 	}
@@ -506,7 +627,9 @@ func (s *Solver) Run() (*Result, error) {
 	var area, gap, dual float64
 	for k = 1; k <= s.opt.MaxIterations; k++ {
 		// A2: merged node multipliers.
-		s.mult.NodeSums(s.lambda)
+		s.pool.run(0, g.NumNodes(), func(_, lo, hi int) {
+			s.mult.NodeSumsRange(s.lambda, lo, hi)
+		})
 		// A3: solve the subproblem; arrival times are computed by the
 		// evaluator as part of LRS's final Recompute.
 		sw := s.LRS()
@@ -598,7 +721,7 @@ func (s *Solver) Run() (*Result, error) {
 			if math.IsInf(fHat, 1) {
 				fHat = area * (1 + feas)
 			}
-			normSq := s.mult.DelayGradNormSq(ev.A, ev.D, s.opt.A0) + perNetNormSq
+			normSq := s.delayGradNormSq() + perNetNormSq
 			if !math.IsNaN(s.pBound) {
 				n := powerViol / s.pBound
 				if n > 0 || s.mult.Beta > 0 {
@@ -621,7 +744,7 @@ func (s *Solver) Run() (*Result, error) {
 				rho = 10 * floor
 			}
 			rho *= damp
-			s.mult.StepDelay(ev.A, ev.D, s.opt.A0, rho/s.opt.A0, true)
+			s.stepDelay(rho/s.opt.A0, true)
 			if !math.IsNaN(s.pBound) {
 				s.mult.StepBeta(powerViol, rho/s.pBound, s.pBound, true)
 			}
@@ -631,7 +754,7 @@ func (s *Solver) Run() (*Result, error) {
 			s.perNetPass(rho, true)
 		} else {
 			// Classic diminishing schedule, scaled to the dual magnitude.
-			s.mult.StepDelay(ev.A, ev.D, s.opt.A0, rho*s.lamScale, s.opt.RelativeViolations)
+			s.stepDelay(rho*s.lamScale, s.opt.RelativeViolations)
 			if !math.IsNaN(s.pBound) {
 				s.mult.StepBeta(powerViol, rho*s.betaScale, s.pBound, s.opt.RelativeViolations)
 			}
@@ -743,5 +866,8 @@ func (s *Solver) memoryBytes() int {
 	}
 	b += (len(s.lambda) + len(s.rup) + len(s.rEff)) * 8
 	b += (len(s.vBound) + len(s.gammaV) + len(s.denV)) * 8
+	// shardMax is excluded: its length tracks the Workers setting and the
+	// analytic footprint must be identical for every parallel width.
+	b += len(s.normScratch) * 8
 	return b
 }

@@ -1,0 +1,154 @@
+// Shard scheduler for the solver's per-node parallel loops.
+//
+// The Lagrangian decomposition makes every per-component quantity of one
+// OGWS iteration independent once the multipliers are fixed: Theorem 5's
+// closed-form resize reads only state frozen at the top of the sweep and
+// writes only its own xᵢ, the merged node multipliers λᵢ are per-node sums,
+// and the subgradient updates touch disjoint edge sets per head node. The
+// pool below exploits exactly that structure: it splits an index range into
+// contiguous shards, runs them on persistent worker goroutines, and leaves
+// all cross-shard reduction to the caller so results can be made
+// bit-identical to the single-worker path (max-reductions are exact under
+// any grouping; sums are gathered into node-indexed scratch and folded in
+// index order by the coordinator).
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/rc"
+)
+
+// grainSize is the smallest shard worth dispatching: below it the
+// coordination cost (one channel round-trip per shard) exceeds the work, so
+// run inlines the whole range on the calling goroutine instead.
+const grainSize = 64
+
+type poolJob struct {
+	fn     func(shard, lo, hi int)
+	shard  int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// pool is a reusable fork-join scheduler. A pool with workers == 1 has no
+// goroutines and runs everything inline, so the serial path is literally
+// the parallel path with one shard. One caller at a time dispatches and
+// waits; only the shard bodies run concurrently. close is the exception:
+// it may race with a dispatch (the Solver's GC cleanup closes the pool
+// from the runtime's cleanup goroutine while a dangling evaluator Runner
+// could still be running), so the jobs field is guarded.
+type pool struct {
+	workers int
+
+	mu   sync.RWMutex
+	jobs chan poolJob // nil when inline-only (workers == 1 or closed)
+}
+
+// newPool creates a scheduler with the given concurrency; workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func newPool(workers int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{workers: workers}
+	if workers > 1 {
+		// Workers capture the channel value, never the field: close()
+		// rewrites p.jobs from the coordinator goroutine.
+		jobs := make(chan poolJob, workers)
+		p.jobs = jobs
+		for w := 0; w < workers; w++ {
+			go func() {
+				for j := range jobs {
+					j.fn(j.shard, j.lo, j.hi)
+					j.wg.Done()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// parallel reports whether the pool owns worker goroutines.
+func (p *pool) parallel() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.jobs != nil
+}
+
+// close releases the worker goroutines. Safe to call more than once and
+// concurrently with a dispatch: in-flight shards drain before the channel
+// closes, and afterwards the pool degrades to inline execution, so a
+// dangling reference (e.g. an evaluator Runner installed by a collected
+// Solver) stays correct.
+func (p *pool) close() {
+	p.mu.Lock()
+	jobs := p.jobs
+	p.jobs = nil
+	p.mu.Unlock()
+	if jobs != nil {
+		close(jobs)
+	}
+}
+
+// run partitions [lo, hi) into at most p.workers contiguous shards,
+// executes fn(shard, shardLo, shardHi) for each, and returns the number of
+// shards used once all have completed. Shard s always receives the s-th
+// contiguous subrange, so per-shard scratch slots are deterministic. Ranges
+// smaller than one grain per extra worker run inline as a single shard.
+func (p *pool) run(lo, hi int, fn func(shard, lo, hi int)) int {
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	shards := p.workers
+	if maxShards := (n + grainSize - 1) / grainSize; shards > maxShards {
+		shards = maxShards
+	}
+	if shards > 1 {
+		if done := p.dispatch(lo, hi, shards, fn); done {
+			return shards
+		}
+	}
+	fn(0, lo, hi)
+	return 1
+}
+
+// dispatch fans the shards out to the workers and waits for them; it
+// reports false when the pool is closed (caller runs inline). The read
+// lock spans only the sends — they cannot block, since the channel buffer
+// holds p.workers ≥ shards entries and the previous region fully drained —
+// so a concurrent close waits at most for the enqueue, then the workers
+// drain the queued shards before exiting.
+func (p *pool) dispatch(lo, hi, shards int, fn func(shard, lo, hi int)) bool {
+	p.mu.RLock()
+	jobs := p.jobs
+	if jobs == nil {
+		p.mu.RUnlock()
+		return false
+	}
+	n := hi - lo
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		jobs <- poolJob{
+			fn:    fn,
+			shard: s,
+			lo:    lo + s*n/shards,
+			hi:    lo + (s+1)*n/shards,
+			wg:    &wg,
+		}
+	}
+	p.mu.RUnlock()
+	wg.Wait()
+	return true
+}
+
+// rcRunner adapts the pool to the evaluator's Runner hook so Recompute's
+// independent per-node passes share the same workers.
+func (p *pool) rcRunner() rc.Runner {
+	return func(lo, hi int, fn func(lo, hi int)) {
+		p.run(lo, hi, func(_, l, h int) { fn(l, h) })
+	}
+}

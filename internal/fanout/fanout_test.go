@@ -1,0 +1,33 @@
+package fanout
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 64} {
+		for _, n := range []int{0, 1, 2, 7, 1000} {
+			visited := make([]int32, n)
+			Each(n, workers, func(i int) {
+				atomic.AddInt32(&visited[i], 1)
+			})
+			for i, v := range visited {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestEachInlineWhenSerial(t *testing.T) {
+	// workers == 1 must run on the calling goroutine, in order.
+	var order []int
+	Each(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Each out of order: %v", order)
+		}
+	}
+}

@@ -84,7 +84,13 @@ func New(g *circuit.Graph, init float64) *Multipliers {
 // NodeSums fills dst[i] with the merged node multiplier
 // λᵢ = Σ_{j∈input(i)} λⱼᵢ of Theorem 4 (dst must have NumNodes entries).
 func (m *Multipliers) NodeSums(dst []float64) {
-	for i := range m.Edge {
+	m.NodeSumsRange(dst, 0, len(m.Edge))
+}
+
+// NodeSumsRange is NodeSums restricted to nodes [lo, hi). Each node's sum
+// is independent, so disjoint ranges may be filled concurrently.
+func (m *Multipliers) NodeSumsRange(dst []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		s := 0.0
 		for _, v := range m.Edge[i] {
 			s += v
@@ -115,13 +121,22 @@ func (m *Multipliers) SinkFlow() float64 {
 // makes one step size work across circuits and prevents overshoot on the
 // large initial violations).
 func (m *Multipliers) StepDelay(a, d []float64, a0, rho float64, relative bool) {
+	m.StepDelayRange(a, d, a0, rho, relative, 1, m.g.NumNodes())
+}
+
+// StepDelayRange applies the StepDelay update to the in-edges of head
+// nodes [lo, hi) only. A node's update reads the shared arrival/delay
+// vectors and writes only that node's in-edge multipliers, so disjoint
+// ranges may step concurrently.
+func (m *Multipliers) StepDelayRange(a, d []float64, a0, rho float64, relative bool, lo, hi int) {
 	g := m.g
 	sink := g.SinkID()
 	scale := 1.0
 	if relative && a0 > 0 {
 		scale = 1 / a0
 	}
-	for i := 1; i < g.NumNodes(); i++ {
+	trust := m.trust()
+	for i := lo; i < hi; i++ {
 		in := g.In(i)
 		for k := range in {
 			j := int(in[k])
@@ -138,7 +153,7 @@ func (m *Multipliers) StepDelay(a, d []float64, a0, rho float64, relative bool) 
 			if relative {
 				viol = math.Max(-1, math.Min(1, viol))
 			}
-			m.Edge[i][k] = stepValue(m.Edge[i][k], rho*viol, m.trust(), relative)
+			m.Edge[i][k] = stepValue(m.Edge[i][k], rho*viol, trust, relative)
 		}
 	}
 }
@@ -196,13 +211,27 @@ func stepValue(v, delta, trust float64, relative bool) float64 {
 // DelayGradNormSq returns the squared norm of the active, A0-normalized
 // delay subgradient: Σ (viol/A0)² over edges, skipping coordinates where
 // the multiplier is zero and the constraint is slack (the projected
-// subgradient is zero there). Used by Polyak-style step sizing.
+// subgradient is zero there). Used by Polyak-style step sizing. The sum
+// folds per-node partials in node order, matching a DelayGradFillRange
+// pass combined by DelayGradNormSqFrom.
 func (m *Multipliers) DelayGradNormSq(a, d []float64, a0 float64) float64 {
+	nn := m.g.NumNodes()
+	dst := make([]float64, nn)
+	m.DelayGradFillRange(a, d, a0, dst, 1, nn)
+	return DelayGradNormSqFrom(dst[1:])
+}
+
+// DelayGradFillRange writes each head node's active normalized squared
+// subgradient contribution Σ_k (violᵢₖ/A0)² into dst[i] for i ∈ [lo, hi).
+// Each node touches only its own dst entry, so disjoint ranges may be
+// filled concurrently; a serial DelayGradNormSqFrom fold over dst then
+// yields a total independent of the partitioning.
+func (m *Multipliers) DelayGradFillRange(a, d []float64, a0 float64, dst []float64, lo, hi int) {
 	g := m.g
 	sink := g.SinkID()
-	sum := 0.0
-	for i := 1; i < g.NumNodes(); i++ {
+	for i := lo; i < hi; i++ {
 		in := g.In(i)
+		s := 0.0
 		for k := range in {
 			j := int(in[k])
 			var viol float64
@@ -218,8 +247,18 @@ func (m *Multipliers) DelayGradNormSq(a, d []float64, a0 float64) float64 {
 				continue
 			}
 			n := viol / a0
-			sum += n * n
+			s += n * n
 		}
+		dst[i] = s
+	}
+}
+
+// DelayGradNormSqFrom folds per-node contributions in index order — the
+// deterministic reduction shared by the serial and sharded gradient paths.
+func DelayGradNormSqFrom(perNode []float64) float64 {
+	sum := 0.0
+	for _, v := range perNode {
+		sum += v
 	}
 	return sum
 }

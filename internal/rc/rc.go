@@ -29,12 +29,31 @@ import (
 	"repro/internal/tech"
 )
 
+// Runner executes fn over disjoint contiguous subranges that exactly cover
+// [lo, hi) and returns only after every call has completed. It is the
+// evaluator's hook for data-parallel execution: a nil Runner (the default)
+// runs everything serially on the calling goroutine. Implementations may
+// run the subranges concurrently; the evaluator only hands a Runner loops
+// whose iterations are independent, so any partition yields bit-identical
+// results.
+type Runner func(lo, hi int, fn func(lo, hi int))
+
 // Evaluator holds preallocated state for repeated RC evaluation of one
 // circuit. Memory is linear in the circuit size; every pass is linear in
 // nodes plus edges (the paper's "linear runtime per iteration").
 type Evaluator struct {
-	g  *circuit.Graph
-	cs *coupling.Set
+	g   *circuit.Graph
+	cs  *coupling.Set
+	run Runner
+
+	// Coupling gather index in CSR form: for node i, entries
+	// nbrOff[i]..nbrOff[i+1] list the coupled neighbour nodes (nbrIdx) and
+	// the weighted linear coefficients wᵢⱼ·ĉᵢⱼ (nbrW). Gathering per node
+	// instead of scattering per pair makes the CNbr fill race-free under a
+	// Runner while preserving the per-node accumulation order.
+	nbrOff []int32
+	nbrIdx []int32
+	nbrW   []float64
 
 	// X is the size vector indexed by node (µm); entries for source,
 	// drivers and sink are ignored. Mutate via SetSize/SetAllSizes.
@@ -73,6 +92,7 @@ func NewEvaluator(g *circuit.Graph, cs *coupling.Set) (*Evaluator, error) {
 		e.CNbr = make([]float64, nn)
 		e.CHat = make([]float64, nn)
 		e.CCst = make([]float64, nn)
+		counts := make([]int32, nn+1)
 		for _, p := range cs.Pairs() {
 			for _, v := range [2]int{p.I, p.J} {
 				if v >= nn || g.Comp(v).Kind != circuit.Wire {
@@ -83,6 +103,24 @@ func NewEvaluator(g *circuit.Graph, cs *coupling.Set) (*Evaluator, error) {
 			e.CHat[p.J] += p.Weight * p.CHat()
 			e.CCst[p.I] += p.Weight * p.CTilde
 			e.CCst[p.J] += p.Weight * p.CTilde
+			counts[p.I+1]++
+			counts[p.J+1]++
+		}
+		e.nbrOff = counts
+		for i := 0; i < nn; i++ {
+			e.nbrOff[i+1] += e.nbrOff[i]
+		}
+		e.nbrIdx = make([]int32, 2*cs.Len())
+		e.nbrW = make([]float64, 2*cs.Len())
+		fill := make([]int32, nn)
+		for _, p := range cs.Pairs() {
+			w := p.Weight * p.CHat()
+			ki := e.nbrOff[p.I] + fill[p.I]
+			e.nbrIdx[ki], e.nbrW[ki] = int32(p.J), w
+			fill[p.I]++
+			kj := e.nbrOff[p.J] + fill[p.J]
+			e.nbrIdx[kj], e.nbrW[kj] = int32(p.I), w
+			fill[p.J]++
 		}
 	}
 	for i := 0; i < nn; i++ {
@@ -98,6 +136,33 @@ func (e *Evaluator) Graph() *circuit.Graph { return e.g }
 
 // Couplings returns the coupling set.
 func (e *Evaluator) Couplings() *coupling.Set { return e.cs }
+
+// SetRunner installs (or, with nil, removes) the executor used for the
+// evaluator's data-parallel passes. Callers own the Runner's lifetime; the
+// evaluator never retains work past a Recompute call.
+func (e *Evaluator) SetRunner(r Runner) { e.run = r }
+
+// par runs fn over [lo, hi) through the installed Runner, or inline when
+// none is set.
+func (e *Evaluator) par(lo, hi int, fn func(lo, hi int)) {
+	if e.run == nil {
+		fn(lo, hi)
+		return
+	}
+	e.run(lo, hi, fn)
+}
+
+// NbrEntries returns the coupling gather lists for node i: the coupled
+// neighbour node ids and the matching weighted linear coefficients
+// wᵢⱼ·ĉᵢⱼ, in the coupling set's pair order. Both are nil for uncoupled
+// nodes. The slices alias internal state and must not be modified.
+func (e *Evaluator) NbrEntries(i int) ([]int32, []float64) {
+	if e.nbrOff == nil {
+		return nil, nil
+	}
+	lo, hi := e.nbrOff[i], e.nbrOff[i+1]
+	return e.nbrIdx[lo:hi], e.nbrW[lo:hi]
+}
 
 // SetAllSizes assigns every component the size v clamped to its bounds.
 func (e *Evaluator) SetAllSizes(v float64) {
@@ -129,38 +194,46 @@ func (e *Evaluator) SetSizes(x []float64) error {
 // Recompute refreshes every derived quantity for the current sizes:
 // capacitances and resistances, the stage loads B and delay loads C/C′
 // (reverse topological pass), node delays, and arrival times (forward
-// topological pass).
+// topological pass). The per-node electrical values and the coupling
+// gather run through the installed Runner (both are independent per node);
+// the two topological passes carry chain dependencies and stay serial.
 func (e *Evaluator) Recompute() {
 	g := e.g
 	nn := g.NumNodes()
 	sink := g.SinkID()
 
 	// Per-node electrical values.
-	for i := 1; i < nn-1; i++ {
-		c := g.Comp(i)
-		switch c.Kind {
-		case circuit.Driver:
-			e.Cap[i] = 0
-			e.RPs[i] = tech.RC * c.RUnit
-		case circuit.Gate:
-			e.Cap[i] = c.CUnit * e.X[i]
-			e.RPs[i] = tech.RC * c.RUnit / e.X[i]
-		case circuit.Wire:
-			e.Cap[i] = c.CUnit*e.X[i] + c.Fringe
-			e.RPs[i] = tech.RC * c.RUnit / e.X[i]
+	e.par(1, nn-1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := g.Comp(i)
+			switch c.Kind {
+			case circuit.Driver:
+				e.Cap[i] = 0
+				e.RPs[i] = tech.RC * c.RUnit
+			case circuit.Gate:
+				e.Cap[i] = c.CUnit * e.X[i]
+				e.RPs[i] = tech.RC * c.RUnit / e.X[i]
+			case circuit.Wire:
+				e.Cap[i] = c.CUnit*e.X[i] + c.Fringe
+				e.RPs[i] = tech.RC * c.RUnit / e.X[i]
+			}
 		}
-	}
+	})
 
 	// Neighbour coupling sums (depend on the sizes of the neighbours).
+	// Gathered per node from the CSR index: each iteration writes only its
+	// own CNbr entry, in the same per-node accumulation order as the
+	// pair-scatter formulation.
 	if e.cs.Len() > 0 {
-		for i := range e.CNbr {
-			e.CNbr[i] = 0
-		}
-		for _, p := range e.cs.Pairs() {
-			ch := p.Weight * p.CHat()
-			e.CNbr[p.I] += ch * e.X[p.J]
-			e.CNbr[p.J] += ch * e.X[p.I]
-		}
+		e.par(0, nn, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum := 0.0
+				for k := e.nbrOff[i]; k < e.nbrOff[i+1]; k++ {
+					sum += e.nbrW[k] * e.X[e.nbrIdx[k]]
+				}
+				e.CNbr[i] = sum
+			}
+		})
 	}
 
 	// Reverse topological pass: B, C, C′.
@@ -373,5 +446,5 @@ func (e *Evaluator) MemoryBytes() int {
 	if e.CNbr != nil {
 		arrays += 3
 	}
-	return arrays * n * 8
+	return arrays*n*8 + len(e.nbrOff)*4 + len(e.nbrIdx)*4 + len(e.nbrW)*8
 }

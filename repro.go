@@ -17,6 +17,26 @@
 // synthetic ISCAS85-class benchmarks and parsed .bench netlists; power
 // users can reach the internals (circuit graphs, RC evaluation, multiplier
 // state) under internal/ when vendoring the module.
+//
+// # Parallel architecture
+//
+// The Lagrangian decomposition that makes OGWS converge also makes it
+// parallel: once the multipliers are fixed, every component's Theorem-5
+// resize, every merged node multiplier, and every subgradient coordinate
+// is independent. The solver exploits this at two levels:
+//
+//   - Within one solve, the per-node loops (the LRS resize sweep, the
+//     evaluator's independent Recompute passes, multiplier node sums,
+//     subgradient steps, and gradient norms) are sharded across a worker
+//     pool sized by Options.Workers (0 = all cores, 1 = serial). All
+//     reductions are deterministic — maxima are exact under any grouping
+//     and sums fold per-node scratch in index order — so results are
+//     bit-identical for every Workers setting.
+//   - Across solves, Instance.OptimizeBatch (and the internal
+//     bench.RunTable1Parallel / core.SolveBatch drivers) run many circuits
+//     or specs side by side, one solver per core, for Table-1-style
+//     sweeps. The two levels compose; by default the batch level owns the
+//     cores since independent solves scale better than one sharded solve.
 package repro
 
 import (
@@ -26,6 +46,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/fanout"
 	"repro/internal/netlist"
 	"repro/internal/tech"
 )
@@ -124,9 +145,18 @@ func (in *Instance) Initial() Metrics { return in.metrics(in.inner.Init) }
 func (in *Instance) DefaultBounds() Bounds { return bench.DeriveBounds(in.inner) }
 
 // Optimize runs Algorithm OGWS under the given bounds and returns the
-// report. The instance's sizes hold the solution afterwards.
+// report. The instance's sizes hold the solution afterwards. The solver
+// uses every core; see OptimizeWith to pick the parallel width.
 func (in *Instance) Optimize(b Bounds) (*Report, error) {
-	row, err := bench.RunInstance(in.inner, bench.RunOptions{Bounds: &b})
+	return in.OptimizeWith(b, 0)
+}
+
+// OptimizeWith is Optimize with an explicit parallel width: workers is the
+// number of goroutines the solver shards its per-net subproblems across
+// (0 = all cores, 1 = serial). Results are bit-identical for every
+// setting.
+func (in *Instance) OptimizeWith(b Bounds, workers int) (*Report, error) {
+	row, err := bench.RunInstance(in.inner, bench.RunOptions{Bounds: &b, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -140,4 +170,35 @@ func (in *Instance) Optimize(b Bounds) (*Report, error) {
 		MemoryKB:   row.MemKB,
 		X:          append([]float64(nil), in.inner.Eval.X...),
 	}, nil
+}
+
+// OptimizeBatch optimizes every instance concurrently on at most workers
+// goroutines (0 = all cores) and returns the reports in instance order;
+// if any solves fail, the lowest-index error is returned. bounds may be
+// nil (each instance uses its DefaultBounds) or must have one entry per
+// instance. Instances must be distinct: each solve mutates its instance's
+// sizes. Within the batch every solver runs serially, so the cores stay
+// on distinct circuits; each report is bit-identical to a standalone
+// OptimizeWith(b, 1) on the same instance.
+func OptimizeBatch(insts []*Instance, bounds []Bounds, workers int) ([]*Report, error) {
+	if bounds != nil && len(bounds) != len(insts) {
+		return nil, fmt.Errorf("repro: OptimizeBatch got %d bounds for %d instances", len(bounds), len(insts))
+	}
+	reports := make([]*Report, len(insts))
+	errs := make([]error, len(insts))
+	fanout.Each(len(insts), workers, func(i int) {
+		b := Bounds{}
+		if bounds != nil {
+			b = bounds[i]
+		} else {
+			b = insts[i].DefaultBounds()
+		}
+		reports[i], errs[i] = insts[i].OptimizeWith(b, 1)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
 }

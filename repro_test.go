@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -76,5 +77,62 @@ func TestFromBenchC17(t *testing.T) {
 func TestFromBenchParseError(t *testing.T) {
 	if _, err := FromBench("bad", strings.NewReader("garbage"), 1); err == nil {
 		t.Fatal("garbage netlist accepted")
+	}
+}
+
+// TestOptimizeWithWorkersIdentical pins the top-level guarantee: the
+// parallel width is a pure performance knob — the report is bit-identical
+// at every setting.
+func TestOptimizeWithWorkersIdentical(t *testing.T) {
+	run := func(workers int) *Report {
+		inst, err := Synthetic("c432")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := inst.OptimizeWith(inst.DefaultBounds(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(1)
+	if parallel := run(4); !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("workers=4 report diverged from serial (area %.17g vs %.17g)",
+			serial.Final.AreaUM2, parallel.Final.AreaUM2)
+	}
+}
+
+// TestOptimizeBatch runs two instances concurrently and checks the reports
+// match standalone serial solves.
+func TestOptimizeBatch(t *testing.T) {
+	build := func() []*Instance {
+		var insts []*Instance
+		for _, name := range []string{"c432", "c880"} {
+			inst, err := Synthetic(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			insts = append(insts, inst)
+		}
+		return insts
+	}
+	reports, err := OptimizeBatch(build(), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	for i, inst := range build() {
+		want, err := inst.OptimizeWith(inst.DefaultBounds(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, reports[i]) {
+			t.Errorf("batch report %d diverged from standalone solve", i)
+		}
+	}
+	if _, err := OptimizeBatch(build(), make([]Bounds, 1), 0); err == nil {
+		t.Error("mismatched bounds length accepted")
 	}
 }
