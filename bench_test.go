@@ -20,6 +20,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/coupling"
+	"repro/internal/rc"
 )
 
 // table1Circuits is the subset run under `go test -bench`; the full ten
@@ -323,6 +324,126 @@ func BenchmarkTable1Parallel(b *testing.B) {
 				if len(rows) != len(specs) {
 					b.Fatalf("got %d rows, want %d", len(rows), len(specs))
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkLevelized measures the levelized topological passes on
+// generated deep and wide meshes (bench.Grid, ≥10k nodes each): the
+// serial reference loops, the levelized schedule at several Workers
+// widths, and the full LRS subproblem whose inner kernel the levelization
+// parallelizes. The deep shape (64×78) stresses level-barrier overhead —
+// many thin levels; the wide shape (512×10) exposes maximal per-level
+// parallelism. On a multi-core host the workers8 cases show the levelized
+// wall-clock speedup; results are bit-identical at every width by
+// construction (enforced by the golden and fuzz suites).
+func BenchmarkLevelized(b *testing.B) {
+	shapes := []struct {
+		name          string
+		width, layers int
+	}{
+		{"deep64x78", 64, 78},   // 10114 nodes, ~160 levels
+		{"wide512x10", 512, 10}, // 11266 nodes, ~22 levels
+	}
+	widths := []int{1, 2, 8}
+	for _, sh := range shapes {
+		g, cs, err := bench.Grid(sh.width, sh.layers, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		newEval := func() *rc.Evaluator {
+			ev, err := rc.NewEvaluator(g, cs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev.SetAllSizes(1)
+			return ev
+		}
+		lambda := make([]float64, g.NumNodes())
+		for i := range lambda {
+			lambda[i] = 0.5 + float64(i%5)*0.2
+		}
+		dst := make([]float64, g.NumNodes())
+
+		b.Run(sh.name+"/recompute-serial-ref", func(b *testing.B) {
+			ev := newEval()
+			b.ReportMetric(float64(g.NumNodes()), "nodes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.RecomputeSerial()
+			}
+		})
+		b.Run(sh.name+"/upstream-serial-ref", func(b *testing.B) {
+			ev := newEval()
+			ev.RecomputeSerial()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.UpstreamResistanceSerial(lambda, dst)
+			}
+		})
+		for _, w := range widths {
+			opt := core.DefaultOptions(1, 0, 0)
+			opt.Workers = w
+			b.Run(fmt.Sprintf("%s/recompute/workers%d", sh.name, w), func(b *testing.B) {
+				ev := newEval()
+				sol, err := core.NewSolver(ev, opt) // installs the pool Runner
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sol.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev.Recompute()
+				}
+			})
+			b.Run(fmt.Sprintf("%s/upstream/workers%d", sh.name, w), func(b *testing.B) {
+				ev := newEval()
+				sol, err := core.NewSolver(ev, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sol.Close()
+				ev.Recompute()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev.UpstreamResistance(lambda, dst)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLevelizedLRS times the full LRS subproblem solve — the hot
+// kernel of every OGWS iteration, now with no serial topological remainder
+// — on the deep ≥10k-node mesh, serial versus Workers=8.
+func BenchmarkLevelizedLRS(b *testing.B) {
+	g, cs, err := bench.Grid(64, 78, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("deep64x78/workers%d", w), func(b *testing.B) {
+			ev, err := rc.NewEvaluator(g, cs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev.SetAllSizes(1)
+			ev.Recompute()
+			opt := core.DefaultOptions(ev.MaxArrival(), 0, 0)
+			opt.MaxIterations = 1
+			opt.Workers = w
+			sol, err := core.NewSolver(ev, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sol.Close()
+			if _, err := sol.Run(); err != nil { // establish multipliers
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol.LRS()
 			}
 		})
 	}

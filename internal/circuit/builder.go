@@ -87,7 +87,19 @@ func (b *Builder) MarkOutput(node int, loadCap float64) {
 
 // Build validates the circuit and returns the immutable graph together with
 // the mapping from builder IDs to graph node indices.
-func (b *Builder) Build() (*Graph, []int, error) {
+func (b *Builder) Build() (*Graph, []int, error) { return b.build(false) }
+
+// BuildLoose is Build without the structural-completeness validation: it
+// skips the primary-output requirement, the dangling-node check, and the
+// source/sink reachability pass, so the sink may end up with no feeders and
+// components may have no fan-out. Per-node validity (kinds, bounds, wire
+// fan-in, driver fan-in) and acyclicity are still enforced. Intended for
+// synthetic analysis and test workloads — fuzzing the levelizer over
+// arbitrary DAG shapes, or probing evaluator behaviour on degenerate graphs
+// a real flow never produces.
+func (b *Builder) BuildLoose() (*Graph, []int, error) { return b.build(true) }
+
+func (b *Builder) build(loose bool) (*Graph, []int, error) {
 	if b.err != nil {
 		return nil, nil, b.err
 	}
@@ -150,13 +162,14 @@ func (b *Builder) Build() (*Graph, []int, error) {
 		isOutput[o.node] = true
 		loads[o.node] = o.load
 	}
-	hasOutput := len(b.outputs) > 0
-	if !hasOutput {
-		return nil, nil, fmt.Errorf("circuit: no primary outputs (use MarkOutput)")
-	}
-	for i, c := range b.comps {
-		if len(out[i]) == 0 && !isOutput[i] {
-			return nil, nil, fmt.Errorf("circuit: %v %q is dangling (no fan-out, not an output)", c.Kind, c.Name)
+	if !loose {
+		if len(b.outputs) == 0 {
+			return nil, nil, fmt.Errorf("circuit: no primary outputs (use MarkOutput)")
+		}
+		for i, c := range b.comps {
+			if len(out[i]) == 0 && !isOutput[i] {
+				return nil, nil, fmt.Errorf("circuit: %v %q is dangling (no fan-out, not an output)", c.Kind, c.Name)
+			}
 		}
 	}
 
@@ -232,9 +245,12 @@ func (b *Builder) Build() (*Graph, []int, error) {
 
 	// Reachability: every component must be reachable from the source and
 	// must reach the sink.
-	if err := g.checkReachability(); err != nil {
-		return nil, nil, err
+	if !loose {
+		if err := g.checkReachability(); err != nil {
+			return nil, nil, err
+		}
 	}
+	g.computeLevels()
 	for i := 1; i <= nb; i++ {
 		switch g.comps[i].Kind {
 		case Wire:

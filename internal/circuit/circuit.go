@@ -93,6 +93,17 @@ type Graph struct {
 	out   [][]int32
 	wires []int32 // node indices of all wires, ascending
 	gates []int32 // node indices of all gates, ascending
+
+	// Topological levels (depth buckets): levelOf[i] is the longest-path
+	// edge count from a fan-in-free node to i, so every edge (i, j) has
+	// levelOf[i] < levelOf[j] and nodes sharing a level are mutually
+	// independent. lvlOff/lvlNodes is the bucket CSR: nodes of level l are
+	// lvlNodes[lvlOff[l]:lvlOff[l+1]], ascending. Computed once at build
+	// time; this is what the evaluator's levelized (parallel) timing
+	// propagation schedules over.
+	levelOf  []int32
+	lvlOff   []int32
+	lvlNodes []int32
 }
 
 // Drivers returns s, the number of input drivers.
@@ -125,6 +136,60 @@ func (g *Graph) Wires() []int32 { return g.wires }
 // Gates returns the node indices of all gates in ascending order. The slice
 // must not be modified.
 func (g *Graph) Gates() []int32 { return g.gates }
+
+// NumLevels returns the number of topological levels (longest-path depth
+// plus one). Level 0 holds the source (and, on Loose graphs, any node with
+// no fan-in); on Build-validated graphs the sink sits alone on the top
+// level.
+func (g *Graph) NumLevels() int { return len(g.lvlOff) - 1 }
+
+// Level returns the topological level of node i: the number of edges on
+// the longest path from a fan-in-free node to i. For every edge (i, j),
+// Level(i) < Level(j), so processing nodes level by level is a valid
+// topological schedule and nodes within one level never depend on each
+// other.
+func (g *Graph) Level(i int) int { return int(g.levelOf[i]) }
+
+// LevelNodes returns the node indices at level l in ascending order. The
+// slice must not be modified.
+func (g *Graph) LevelNodes(l int) []int32 {
+	return g.lvlNodes[g.lvlOff[l]:g.lvlOff[l+1]]
+}
+
+// computeLevels fills the level assignment and bucket CSR. Relies on the
+// topological node numbering (every in-neighbour of i has index < i), which
+// build establishes before calling.
+func (g *Graph) computeLevels() {
+	nn := g.NumNodes()
+	g.levelOf = make([]int32, nn)
+	maxL := int32(0)
+	for i := 1; i < nn; i++ {
+		d := int32(0)
+		for _, j := range g.in[i] {
+			if l := g.levelOf[j] + 1; l > d {
+				d = l
+			}
+		}
+		g.levelOf[i] = d
+		if d > maxL {
+			maxL = d
+		}
+	}
+	g.lvlOff = make([]int32, maxL+2)
+	for _, l := range g.levelOf {
+		g.lvlOff[l+1]++
+	}
+	for l := int32(0); l <= maxL; l++ {
+		g.lvlOff[l+1] += g.lvlOff[l]
+	}
+	g.lvlNodes = make([]int32, nn)
+	fill := make([]int32, maxL+1)
+	for i := 0; i < nn; i++ { // ascending i ⇒ ascending within each bucket
+		l := g.levelOf[i]
+		g.lvlNodes[g.lvlOff[l]+fill[l]] = int32(i)
+		fill[l]++
+	}
+}
 
 // NumEdges returns the number of edges, including source and sink edges.
 func (g *Graph) NumEdges() int {
@@ -249,5 +314,6 @@ func (g *Graph) MemoryBytes() int {
 	b := len(g.comps) * compBytes
 	b += g.NumEdges() * 2 * 4 // each edge appears in one in-list and one out-list
 	b += (len(g.wires) + len(g.gates)) * 4
+	b += (len(g.levelOf) + len(g.lvlOff) + len(g.lvlNodes)) * 4
 	return b
 }

@@ -388,3 +388,195 @@ func TestKindString(t *testing.T) {
 		t.Error("components not reported sizable")
 	}
 }
+
+// TestLevelsFigure1 pins the level assignment on the paper's Figure-1
+// circuit: levels strictly increase along every edge, the buckets partition
+// the nodes in ascending order, level 0 holds exactly the source, and the
+// sink sits alone on the top level.
+func TestLevelsFigure1(t *testing.T) {
+	g, id := buildFigure1(t)
+	// Longest path: source → D1 → w4 → g6 → w9 → g12 → w13 → sink is 7
+	// edges, so 8 levels.
+	if got := g.NumLevels(); got != 8 {
+		t.Errorf("NumLevels = %d, want 8", got)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, j := range g.In(i) {
+			if g.Level(int(j)) >= g.Level(i) {
+				t.Fatalf("edge (%d,%d): level %d !< %d", j, i, g.Level(int(j)), g.Level(i))
+			}
+		}
+	}
+	if nodes := g.LevelNodes(0); len(nodes) != 1 || nodes[0] != 0 {
+		t.Errorf("level 0 = %v, want [0] (source only)", nodes)
+	}
+	top := g.LevelNodes(g.NumLevels() - 1)
+	if len(top) != 1 || int(top[0]) != g.SinkID() {
+		t.Errorf("top level = %v, want [%d] (sink only)", top, g.SinkID())
+	}
+	// Spot values on the deepest chain.
+	for name, want := range map[string]int{"D1": 1, "w4": 2, "g6": 3, "g12": 5, "w13": 6} {
+		if got := g.Level(id[name]); got != want {
+			t.Errorf("Level(%s) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestLevelsPartitionProperty checks on random chains that the level
+// buckets are a partition consistent with Level() and ascending in index.
+func TestLevelsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomChain(rng)
+		seen := make([]int, g.NumNodes())
+		for l := 0; l < g.NumLevels(); l++ {
+			nodes := g.LevelNodes(l)
+			for k, i := range nodes {
+				if g.Level(int(i)) != l {
+					return false
+				}
+				if k > 0 && nodes[k-1] >= i {
+					return false
+				}
+				seen[i]++
+			}
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		// Depth (sizable nodes on the longest path) can never exceed the
+		// edge-count depth of the level assignment.
+		if g.Depth() > g.NumLevels()-1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildLoose covers the validation split: structurally incomplete
+// graphs (no outputs, dangling components, a feeder-less sink) build in
+// loose mode but not in strict mode, while per-node validity and
+// acyclicity are enforced by both.
+func TestBuildLoose(t *testing.T) {
+	mk := func() *Builder {
+		b := NewBuilder()
+		d := b.AddDriver("D", 100)
+		w := b.AddWire("w", 10, 2, 1, 50, 1, 0.1, 10)
+		b.Connect(d, w) // dangling wire, no outputs anywhere
+		return b
+	}
+	if _, _, err := mk().Build(); err == nil {
+		t.Error("strict Build accepted a circuit with no outputs")
+	}
+	g, _, err := mk().BuildLoose()
+	if err != nil {
+		t.Fatalf("BuildLoose: %v", err)
+	}
+	if n := len(g.In(g.SinkID())); n != 0 {
+		t.Errorf("loose sink has %d feeders, want 0", n)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, j := range g.In(i) {
+			if g.Level(int(j)) >= g.Level(i) {
+				t.Fatalf("loose graph edge (%d,%d) does not increase level", j, i)
+			}
+		}
+	}
+	// Per-node validity still enforced in loose mode.
+	b := NewBuilder()
+	d := b.AddDriver("D", 100)
+	w1 := b.AddWire("w1", 10, 2, 1, 50, 1, 0.1, 10)
+	w2 := b.AddWire("w2", 10, 2, 1, 50, 1, 0.1, 10)
+	b.Connect(d, w1)
+	b.Connect(d, w2)
+	b.Connect(w2, w1) // wire fan-in 2
+	if _, _, err := b.BuildLoose(); err == nil {
+		t.Error("BuildLoose accepted a wire with fan-in 2")
+	}
+	// Cycles still rejected in loose mode.
+	b = NewBuilder()
+	d = b.AddDriver("D", 100)
+	g1 := b.AddGate("g1", 10, 1, 1, 0.1, 10)
+	g2 := b.AddGate("g2", 10, 1, 1, 0.1, 10)
+	b.Connect(d, g1)
+	b.Connect(g1, g2)
+	b.Connect(g2, g1)
+	if _, _, err := b.BuildLoose(); err == nil {
+		t.Error("BuildLoose accepted a cycle")
+	}
+}
+
+// FuzzGraphLevels feeds arbitrary byte-shaped DAGs through BuildLoose and
+// asserts the levelizer's structural contract: a valid topological order
+// (levels strictly increase along edges) whose buckets partition the nodes
+// in ascending index order, with the topological node numbering intact.
+func FuzzGraphLevels(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3})
+	f.Add([]byte("level buckets must be a topological partition"))
+	f.Add([]byte{0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		next := func() int {
+			if len(data) == 0 {
+				return 0
+			}
+			v := int(data[pos%len(data)])
+			pos++
+			return v
+		}
+		b := NewBuilder()
+		var nodes []int
+		for i := 0; i < 1+next()%3; i++ {
+			nodes = append(nodes, b.AddDriver("d", 10+float64(next()%100)))
+		}
+		for c := 0; c < len(data)%50; c++ {
+			if next()%2 == 0 {
+				w := b.AddWire("w", 1+float64(next()%20), 0.5, 0.1, 30, 1, 0.1, 10)
+				b.Connect(nodes[next()%len(nodes)], w)
+				nodes = append(nodes, w)
+			} else {
+				g := b.AddGate("g", 1+float64(next()%20), 0.5, 1, 0.1, 10)
+				for k := 0; k <= next()%2; k++ {
+					b.Connect(nodes[next()%len(nodes)], g)
+				}
+				nodes = append(nodes, g)
+			}
+			if next()%5 == 0 {
+				b.MarkOutput(nodes[len(nodes)-1], float64(next()%30))
+			}
+		}
+		g, _, err := b.BuildLoose()
+		if err != nil {
+			return // bytes may double-mark an output etc.
+		}
+		seen := make([]bool, g.NumNodes())
+		for l := 0; l < g.NumLevels(); l++ {
+			bucket := g.LevelNodes(l)
+			for k, i := range bucket {
+				if g.Level(int(i)) != l || seen[i] || (k > 0 && bucket[k-1] >= i) {
+					t.Fatalf("bucket %d broken at node %d", l, i)
+				}
+				seen[i] = true
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("node %d missing from buckets", i)
+			}
+			for _, j := range g.In(i) {
+				if int(j) >= i {
+					t.Fatalf("edge (%d,%d) violates topological numbering", j, i)
+				}
+				if g.Level(int(j)) >= g.Level(i) {
+					t.Fatalf("edge (%d,%d) does not increase level", j, i)
+				}
+			}
+		}
+	})
+}

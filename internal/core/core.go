@@ -92,10 +92,13 @@ type Options struct {
 	// Workers is the number of goroutines used for the solver's per-node
 	// parallel loops (the LRS resize sweep, the evaluator's independent
 	// Recompute passes, multiplier node sums, subgradient steps, and
-	// gradient norms). 0 selects runtime.GOMAXPROCS(0); 1 runs serially.
-	// Every reduction is deterministic — maxima are exact under any
-	// grouping and sums are folded in node order from per-node scratch —
-	// so results are bit-identical for every Workers setting.
+	// gradient norms) and for the evaluator's levelized topological passes
+	// (stage loads, arrival times, upstream resistances), which run depth
+	// bucket by depth bucket across the same pool. 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs serially. Every reduction is
+	// deterministic — maxima are exact under any grouping and sums are
+	// folded in node order from per-node scratch — so results are
+	// bit-identical for every Workers setting.
 	Workers int
 	// AutoScale multiplies the multiplier seeds and subgradient steps by
 	// the problem's natural dual magnitudes: S/A0 for the timing weights
@@ -330,13 +333,19 @@ func NewSolver(ev *rc.Evaluator, opt Options) (*Solver, error) {
 	}
 	// Spawn the pool and touch the caller's evaluator only once the
 	// options are known-good, so error returns leave no goroutines behind
-	// and no Runner installed. The Runner stays valid after Close: a
-	// closed pool degrades to inline execution, which is bit-identical by
-	// construction.
+	// and no Runner installed. A single-worker solver installs no Runner
+	// at all: the evaluator then runs its plain serial reference loops,
+	// which skip the levelized schedule's bucket indirection and per-level
+	// barriers yet are bit-identical to it by construction (and clears any
+	// Runner a previous solver left on the evaluator). The Runner stays
+	// valid after Close: a closed pool degrades to inline execution, which
+	// is bit-identical too.
 	s.pool = newPool(workers)
-	ev.SetRunner(s.pool.rcRunner())
 	if s.pool.parallel() {
+		ev.SetRunner(s.pool.rcRunner())
 		s.cleanup = runtime.AddCleanup(s, func(p *pool) { p.close() }, s.pool)
+	} else {
+		ev.SetRunner(nil)
 	}
 	return s, nil
 }

@@ -11,6 +11,12 @@
 // bit-identical to the single-worker path (max-reductions are exact under
 // any grouping; sums are gathered into node-indexed scratch and folded in
 // index order by the coordinator).
+//
+// The pool also backs the evaluator's levelized topological passes (via the
+// rc.Runner hook): rc.Recompute and rc.UpstreamResistance hand it one
+// contiguous depth-bucket range per topological level, so the formerly
+// serial timing propagation shares the same workers, the same deterministic
+// sharding, and the same bit-identity guarantee as the flat per-node loops.
 package core
 
 import (
@@ -146,7 +152,8 @@ func (p *pool) dispatch(lo, hi, shards int, fn func(shard, lo, hi int)) bool {
 }
 
 // rcRunner adapts the pool to the evaluator's Runner hook so Recompute's
-// independent per-node passes share the same workers.
+// independent per-node passes and the level-by-level topological passes
+// (stage loads, arrivals, upstream resistances) share the same workers.
 func (p *pool) rcRunner() rc.Runner {
 	return func(lo, hi int, fn func(lo, hi int)) {
 		p.run(lo, hi, func(_, l, h int) { fn(l, h) })

@@ -17,6 +17,23 @@
 // upstream resistances, keeping the evaluated Lagrangian exactly consistent
 // with the paper's optimality conditions; see DESIGN.md §2.
 //
+// # Levelized scheduling
+//
+// The two topological passes (stage loads B/C and arrival times in
+// Recompute, the weighted upstream resistances in UpstreamResistance) carry
+// chain dependencies, so they cannot be sharded as flat index ranges the
+// way the per-node electrical pass can. Instead they are scheduled over the
+// graph's topological levels (circuit.Graph.Level): every edge strictly
+// increases the level, so nodes sharing a level are mutually independent
+// and each level is a parallel region separated from the next by a barrier.
+// With a Runner installed the passes run level by level through it; without
+// one they fall back to the plain index-order reference loops
+// (RecomputeSerial, UpstreamResistanceSerial). Both schedules execute the
+// identical per-node bodies and every per-node accumulation folds in the
+// same fan-in/fan-out list order, so serial, levelized-inline, and
+// levelized-parallel results are bit-identical — a guarantee the golden,
+// property, and fuzz suites enforce.
+//
 // All delays are in ps, resistances in Ω, capacitances in fF, sizes in µm.
 package rc
 
@@ -54,6 +71,15 @@ type Evaluator struct {
 	nbrOff []int32
 	nbrIdx []int32
 	nbrW   []float64
+
+	// Level buckets over the interior nodes (everything but source and
+	// sink), in CSR form: nodes of topological level l occupy
+	// lvlNodes[lvlOff[l]:lvlOff[l+1]], ascending. The levelized passes walk
+	// these buckets forward (arrivals, upstream resistances) or backward
+	// (stage loads), handing each bucket to the Runner as one parallel
+	// region.
+	lvlOff   []int32
+	lvlNodes []int32
 
 	// X is the size vector indexed by node (µm); entries for source,
 	// drivers and sink are ignored. Mutate via SetSize/SetAllSizes.
@@ -128,8 +154,27 @@ func NewEvaluator(g *circuit.Graph, cs *coupling.Set) (*Evaluator, error) {
 			e.X[i] = c.Lo
 		}
 	}
+	// Interior level buckets for the levelized topological passes.
+	nLvl := g.NumLevels()
+	e.lvlOff = make([]int32, nLvl+1)
+	for i := 1; i < nn-1; i++ {
+		e.lvlOff[g.Level(i)+1]++
+	}
+	for l := 0; l < nLvl; l++ {
+		e.lvlOff[l+1] += e.lvlOff[l]
+	}
+	e.lvlNodes = make([]int32, nn-2)
+	fill := make([]int32, nLvl)
+	for i := 1; i < nn-1; i++ { // ascending i ⇒ ascending within each bucket
+		l := g.Level(i)
+		e.lvlNodes[e.lvlOff[l]+fill[l]] = int32(i)
+		fill[l]++
+	}
 	return e, nil
 }
+
+// numLevels returns the number of interior level buckets.
+func (e *Evaluator) numLevels() int { return len(e.lvlOff) - 1 }
 
 // Graph returns the underlying circuit graph.
 func (e *Evaluator) Graph() *circuit.Graph { return e.g }
@@ -165,7 +210,14 @@ func (e *Evaluator) NbrEntries(i int) ([]int32, []float64) {
 }
 
 // SetAllSizes assigns every component the size v clamped to its bounds.
+// A non-finite v still yields a valid state: ±Inf clamp to the nearest
+// bound as usual and NaN falls to each component's lower bound — NaN must
+// never reach X, where it would silently poison every derived quantity
+// (the same hole SetSizes closes by rejection).
 func (e *Evaluator) SetAllSizes(v float64) {
+	if math.IsNaN(v) {
+		v = math.Inf(-1) // clamps to Lo below
+	}
 	for i := 0; i < e.g.NumNodes(); i++ {
 		c := e.g.Comp(i)
 		if !c.Kind.Sizable() {
@@ -176,10 +228,17 @@ func (e *Evaluator) SetAllSizes(v float64) {
 }
 
 // SetSizes copies the given size vector (indexed by node) clamping each
-// component to its bounds.
+// component to its bounds. A NaN or infinite entry on a sizable node is
+// rejected before any size is modified: NaN propagates through the min/max
+// clamp and would silently poison every derived quantity downstream.
 func (e *Evaluator) SetSizes(x []float64) error {
 	if len(x) != len(e.X) {
 		return fmt.Errorf("rc: size vector has %d entries, want %d", len(x), len(e.X))
+	}
+	for i := 0; i < e.g.NumNodes(); i++ {
+		if e.g.Comp(i).Kind.Sizable() && (math.IsNaN(x[i]) || math.IsInf(x[i], 0)) {
+			return fmt.Errorf("rc: size for %v node %d is %g", e.g.Comp(i).Kind, i, x[i])
+		}
 	}
 	for i := 0; i < e.g.NumNodes(); i++ {
 		c := e.g.Comp(i)
@@ -191,115 +250,178 @@ func (e *Evaluator) SetSizes(x []float64) error {
 	return nil
 }
 
-// Recompute refreshes every derived quantity for the current sizes:
-// capacitances and resistances, the stage loads B and delay loads C/C′
-// (reverse topological pass), node delays, and arrival times (forward
-// topological pass). The per-node electrical values and the coupling
-// gather run through the installed Runner (both are independent per node);
-// the two topological passes carry chain dependencies and stay serial.
-func (e *Evaluator) Recompute() {
-	g := e.g
-	nn := g.NumNodes()
-	sink := g.SinkID()
-
-	// Per-node electrical values.
-	e.par(1, nn-1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			c := g.Comp(i)
-			switch c.Kind {
-			case circuit.Driver:
-				e.Cap[i] = 0
-				e.RPs[i] = tech.RC * c.RUnit
-			case circuit.Gate:
-				e.Cap[i] = c.CUnit * e.X[i]
-				e.RPs[i] = tech.RC * c.RUnit / e.X[i]
-			case circuit.Wire:
-				e.Cap[i] = c.CUnit*e.X[i] + c.Fringe
-				e.RPs[i] = tech.RC * c.RUnit / e.X[i]
-			}
-		}
-	})
-
-	// Neighbour coupling sums (depend on the sizes of the neighbours).
-	// Gathered per node from the CSR index: each iteration writes only its
-	// own CNbr entry, in the same per-node accumulation order as the
-	// pair-scatter formulation.
-	if e.cs.Len() > 0 {
-		e.par(0, nn, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				sum := 0.0
-				for k := e.nbrOff[i]; k < e.nbrOff[i+1]; k++ {
-					sum += e.nbrW[k] * e.X[e.nbrIdx[k]]
-				}
-				e.CNbr[i] = sum
-			}
-		})
-	}
-
-	// Reverse topological pass: B, C, C′.
-	for i := nn - 1; i >= 1; i-- {
-		c := g.Comp(i)
-		if c.Kind == circuit.Sink {
-			continue
-		}
-		b := c.Load
-		for _, jj := range g.Out(i) {
-			j := int(jj)
-			cj := g.Comp(j)
-			switch cj.Kind {
-			case circuit.Wire:
-				b += e.Cap[j] + e.B[j]
-			case circuit.Gate:
-				b += e.Cap[j]
-			case circuit.Sink:
-				// Load already accounted in c.Load.
-			}
-		}
-		e.B[i] = b
+// electricalRange fills the per-node capacitances and effective resistances
+// for nodes [lo, hi); every iteration is independent.
+func (e *Evaluator) electricalRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		c := e.g.Comp(i)
 		switch c.Kind {
+		case circuit.Driver:
+			e.Cap[i] = 0
+			e.RPs[i] = tech.RC * c.RUnit
+		case circuit.Gate:
+			e.Cap[i] = c.CUnit * e.X[i]
+			e.RPs[i] = tech.RC * c.RUnit / e.X[i]
 		case circuit.Wire:
-			ccst, chat, cnbr := 0.0, 0.0, 0.0
-			if e.cs.Len() > 0 {
-				ccst, chat, cnbr = e.CCst[i], e.CHat[i], e.CNbr[i]
-			}
-			e.CPr[i] = b + c.Fringe/2 + ccst
-			e.C[i] = e.CPr[i] + cnbr + (c.CUnit*e.X[i])/2 + chat*e.X[i]
-		default: // gate or driver
-			e.CPr[i] = b
-			e.C[i] = b
-		}
-	}
-
-	// Delays and arrival times, forward pass.
-	e.A[0] = 0
-	maxA := 0.0
-	for i := 1; i < nn; i++ {
-		if i == sink {
-			e.D[i] = 0
-			e.A[i] = maxA
-			continue
-		}
-		e.D[i] = e.RPs[i] * e.C[i]
-		a := 0.0
-		for _, j := range g.In(i) {
-			if e.A[j] > a {
-				a = e.A[j]
-			}
-		}
-		e.A[i] = a + e.D[i]
-		if e.isSinkFeeder(i) && e.A[i] > maxA {
-			maxA = e.A[i]
+			e.Cap[i] = c.CUnit*e.X[i] + c.Fringe
+			e.RPs[i] = tech.RC * c.RUnit / e.X[i]
 		}
 	}
 }
 
-func (e *Evaluator) isSinkFeeder(i int) bool {
-	for _, j := range e.g.Out(i) {
-		if int(j) == e.g.SinkID() {
-			return true
+// couplingRange fills the neighbour coupling sums CNbr for nodes [lo, hi).
+// Gathered per node from the CSR index: each iteration writes only its own
+// CNbr entry, in the same per-node accumulation order as the pair-scatter
+// formulation.
+func (e *Evaluator) couplingRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for k := e.nbrOff[i]; k < e.nbrOff[i+1]; k++ {
+			sum += e.nbrW[k] * e.X[e.nbrIdx[k]]
+		}
+		e.CNbr[i] = sum
+	}
+}
+
+// loadsNode computes the stage load B and the delay loads C/C′ of node i
+// from its fan-out. Every read (Cap of any fan-out, B of wire fan-outs) is
+// of a node on a strictly higher level, so nodes sharing a level can run
+// concurrently; the accumulation folds in fan-out list order, identical for
+// every schedule.
+func (e *Evaluator) loadsNode(i int) {
+	g := e.g
+	c := g.Comp(i)
+	b := c.Load
+	for _, jj := range g.Out(i) {
+		j := int(jj)
+		switch g.Comp(j).Kind {
+		case circuit.Wire:
+			b += e.Cap[j] + e.B[j]
+		case circuit.Gate:
+			b += e.Cap[j]
+		case circuit.Sink:
+			// Load already accounted in c.Load.
 		}
 	}
-	return false
+	e.B[i] = b
+	switch c.Kind {
+	case circuit.Wire:
+		ccst, chat, cnbr := 0.0, 0.0, 0.0
+		if e.cs.Len() > 0 {
+			ccst, chat, cnbr = e.CCst[i], e.CHat[i], e.CNbr[i]
+		}
+		e.CPr[i] = b + c.Fringe/2 + ccst
+		e.C[i] = e.CPr[i] + cnbr + (c.CUnit*e.X[i])/2 + chat*e.X[i]
+	default: // gate or driver
+		e.CPr[i] = b
+		e.C[i] = b
+	}
+}
+
+// arrivalNode computes node i's Elmore delay and arrival time. Reads only
+// arrivals of fan-ins (strictly lower level) and its own RPs/C.
+func (e *Evaluator) arrivalNode(i int) {
+	e.D[i] = e.RPs[i] * e.C[i]
+	a := 0.0
+	for _, j := range e.g.In(i) {
+		if e.A[j] > a {
+			a = e.A[j]
+		}
+	}
+	e.A[i] = a + e.D[i]
+}
+
+// finishSink defines the sink's arrival as the max over its feeders (0 when
+// the sink has no feeders, e.g. on BuildLoose graphs) — the max-fold is
+// exact under any grouping, so every schedule agrees bit for bit.
+func (e *Evaluator) finishSink() {
+	sink := e.g.SinkID()
+	maxA := 0.0
+	for _, j := range e.g.In(sink) {
+		if e.A[j] > maxA {
+			maxA = e.A[j]
+		}
+	}
+	e.D[sink] = 0
+	e.A[sink] = maxA
+}
+
+// Recompute refreshes every derived quantity for the current sizes:
+// capacitances and resistances, the stage loads B and delay loads C/C′
+// (reverse topological pass), node delays, and arrival times (forward
+// topological pass). The per-node electrical values and the coupling gather
+// run through the installed Runner as flat ranges; the two topological
+// passes run level by level — each depth bucket is a parallel region whose
+// nodes are mutually independent, with a barrier between consecutive
+// levels. Without a Runner the plain index-order reference loops run
+// instead (RecomputeSerial); both paths execute identical per-node bodies
+// and are bit-identical.
+func (e *Evaluator) Recompute() {
+	if e.run == nil {
+		e.RecomputeSerial()
+		return
+	}
+	g := e.g
+	nn := g.NumNodes()
+
+	e.par(1, nn-1, e.electricalRange)
+	if e.cs.Len() > 0 {
+		e.par(0, nn, e.couplingRange)
+	}
+
+	// Reverse topological pass: B, C, C′, levels descending.
+	for l := e.numLevels() - 1; l >= 0; l-- {
+		e.par(int(e.lvlOff[l]), int(e.lvlOff[l+1]), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				e.loadsNode(int(e.lvlNodes[k]))
+			}
+		})
+	}
+
+	// Delays and arrival times, forward pass, levels ascending.
+	e.A[0] = 0
+	for l := 0; l < e.numLevels(); l++ {
+		e.par(int(e.lvlOff[l]), int(e.lvlOff[l+1]), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				e.arrivalNode(int(e.lvlNodes[k]))
+			}
+		})
+	}
+	e.finishSink()
+}
+
+// RecomputeSerial is the single-threaded reference implementation of
+// Recompute: plain index-order topological loops with no level scheduling.
+// Recompute delegates here when no Runner is installed; the golden,
+// property, and fuzz suites cross-check the levelized schedule against it
+// to exact (bitwise) equality.
+func (e *Evaluator) RecomputeSerial() {
+	g := e.g
+	nn := g.NumNodes()
+	sink := g.SinkID()
+
+	e.electricalRange(1, nn-1)
+	if e.cs.Len() > 0 {
+		e.couplingRange(0, nn)
+	}
+
+	// Reverse topological pass: B, C, C′.
+	for i := nn - 1; i >= 1; i-- {
+		if i == sink {
+			continue
+		}
+		e.loadsNode(i)
+	}
+
+	// Delays and arrival times, forward pass.
+	e.A[0] = 0
+	for i := 1; i < nn; i++ {
+		if i == sink {
+			continue
+		}
+		e.arrivalNode(i)
+	}
+	e.finishSink()
 }
 
 // MaxArrival returns the circuit delay: the largest arrival time among
@@ -307,10 +429,16 @@ func (e *Evaluator) isSinkFeeder(i int) bool {
 func (e *Evaluator) MaxArrival() float64 { return e.A[e.g.SinkID()] }
 
 // CriticalPath returns the node indices (drivers and components) of a path
-// realizing MaxArrival, from a driver to a sink-feeding node.
+// realizing MaxArrival, from a driver to a sink-feeding node. On a graph
+// whose sink has no predecessors (possible via Builder.BuildLoose; no
+// Build-validated circuit produces one) there is no path to realize and the
+// result is nil, matching MaxArrival's defined value of 0 there.
 func (e *Evaluator) CriticalPath() []int {
 	g := e.g
 	sink := g.SinkID()
+	if len(g.In(sink)) == 0 {
+		return nil
+	}
 	// Start at the sink feeder with max arrival.
 	cur, best := -1, math.Inf(-1)
 	for _, j := range g.In(sink) {
@@ -408,33 +536,67 @@ func (e *Evaluator) NoiseLinear() float64 { return e.cs.TotalLinear(e.X) }
 // NoiseExact returns the exact weighted coupling Σ wᵢⱼ·c̃ᵢⱼ(1−x̄)⁻¹ in fF.
 func (e *Evaluator) NoiseExact() float64 { return e.cs.TotalExact(e.X) }
 
+// upstreamNode folds node i's weighted upstream resistance from its
+// fan-ins. Reads dst only for wire fan-ins, which sit on strictly lower
+// levels, so nodes sharing a level are independent; the fold runs in fan-in
+// list order, identical for every schedule.
+func (e *Evaluator) upstreamNode(i int, lambda, dst []float64) float64 {
+	g := e.g
+	sum := 0.0
+	for _, jj := range g.In(i) {
+		j := int(jj)
+		if j == 0 {
+			continue // source contributes nothing
+		}
+		switch g.Comp(j).Kind {
+		case circuit.Driver, circuit.Gate:
+			sum += lambda[j] * e.RPs[j]
+		case circuit.Wire:
+			sum += dst[j] + lambda[j]*e.RPs[j]
+		}
+	}
+	return sum
+}
+
 // UpstreamResistance fills dst[i] with the paper's weighted upstream
 // resistance Rᵢ = Σ_{k∈upstream(i)} λₖ·rₖ (in ps/fF, multipliers included),
 // where λ is the per-node merged multiplier vector and upstream is the
 // stage-local set (walks back through wires to the driving gate or driver,
-// inclusive). Runs in one forward topological pass. Gates accumulate the
-// contributions of all their fan-in stages.
+// inclusive). Runs in one forward topological pass — level by level through
+// the installed Runner, or as the plain index-order reference loop
+// (UpstreamResistanceSerial) without one; both are bit-identical. Gates
+// accumulate the contributions of all their fan-in stages.
 func (e *Evaluator) UpstreamResistance(lambda []float64, dst []float64) {
-	g := e.g
-	nn := g.NumNodes()
+	if e.run == nil {
+		e.UpstreamResistanceSerial(lambda, dst)
+		return
+	}
+	nn := e.g.NumNodes()
+	e.par(0, nn, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = 0
+		}
+	})
+	for l := 0; l < e.numLevels(); l++ {
+		e.par(int(e.lvlOff[l]), int(e.lvlOff[l+1]), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				i := int(e.lvlNodes[k])
+				dst[i] = e.upstreamNode(i, lambda, dst)
+			}
+		})
+	}
+}
+
+// UpstreamResistanceSerial is the single-threaded reference implementation
+// of UpstreamResistance, kept as the cross-check oracle for the levelized
+// schedule (see RecomputeSerial).
+func (e *Evaluator) UpstreamResistanceSerial(lambda []float64, dst []float64) {
+	nn := e.g.NumNodes()
 	for i := 0; i < nn; i++ {
 		dst[i] = 0
 	}
 	for i := 1; i < nn-1; i++ {
-		sum := 0.0
-		for _, jj := range g.In(i) {
-			j := int(jj)
-			if j == 0 {
-				continue // source contributes nothing
-			}
-			switch g.Comp(j).Kind {
-			case circuit.Driver, circuit.Gate:
-				sum += lambda[j] * e.RPs[j]
-			case circuit.Wire:
-				sum += dst[j] + lambda[j]*e.RPs[j]
-			}
-		}
-		dst[i] = sum
+		dst[i] = e.upstreamNode(i, lambda, dst)
 	}
 }
 
@@ -446,5 +608,6 @@ func (e *Evaluator) MemoryBytes() int {
 	if e.CNbr != nil {
 		arrays += 3
 	}
-	return arrays*n*8 + len(e.nbrOff)*4 + len(e.nbrIdx)*4 + len(e.nbrW)*8
+	return arrays*n*8 + len(e.nbrOff)*4 + len(e.nbrIdx)*4 + len(e.nbrW)*8 +
+		(len(e.lvlOff)+len(e.lvlNodes))*4
 }

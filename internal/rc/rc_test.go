@@ -335,8 +335,9 @@ func TestPropertyRCInvariants(t *testing.T) {
 func TestMemoryLinear(t *testing.T) {
 	g, _ := chain(t)
 	e, _ := NewEvaluator(g, emptySet(t))
-	if e.MemoryBytes() != 9*g.NumNodes()*8 {
-		t.Errorf("MemoryBytes = %d, want %d", e.MemoryBytes(), 9*g.NumNodes()*8)
+	want := 9*g.NumNodes()*8 + (g.NumLevels()+1+g.NumNodes()-2)*4
+	if e.MemoryBytes() != want {
+		t.Errorf("MemoryBytes = %d, want %d", e.MemoryBytes(), want)
 	}
 }
 
@@ -428,6 +429,337 @@ func TestRecomputeMatchesDownstreamDefinition(t *testing.T) {
 			if math.Abs(ref-e.C[i]) > 1e-6*(1+math.Abs(ref)) {
 				t.Fatalf("seed %d node %d (%v): C = %g, downstream reference = %g",
 					seed, i, g.Comp(i).Kind, e.C[i], ref)
+			}
+		}
+	}
+}
+
+// chunkedRunner is a synchronous Runner that splits every region into
+// parts uneven chunks and executes them in reverse order — a legal schedule
+// under the Runner contract (disjoint cover, completion before return) that
+// deliberately differs from both the serial loop and the pool's ascending
+// shards, so any hidden intra-level dependency breaks equality tests.
+func chunkedRunner(parts int) Runner {
+	return func(lo, hi int, fn func(lo, hi int)) {
+		n := hi - lo
+		if n <= 0 {
+			return
+		}
+		p := parts
+		if p > n {
+			p = n
+		}
+		for s := p - 1; s >= 0; s-- {
+			fn(lo+s*n/p, lo+(s+1)*n/p)
+		}
+	}
+}
+
+// snapshot captures every derived array of the evaluator after a pass.
+func snapshot(e *Evaluator) map[string][]float64 {
+	m := map[string][]float64{
+		"Cap": e.Cap, "RPs": e.RPs, "B": e.B, "C": e.C, "CPr": e.CPr,
+		"D": e.D, "A": e.A,
+	}
+	if e.CNbr != nil {
+		m["CNbr"] = e.CNbr
+	}
+	out := make(map[string][]float64, len(m))
+	for k, v := range m {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// requireLevelizedMatchesSerial runs Recompute and UpstreamResistance on
+// the graph both serially and under adversarially chunked levelized
+// schedules and demands exact (bitwise) equality of every derived array.
+func requireLevelizedMatchesSerial(t *testing.T, g *circuit.Graph, cs *coupling.Set, size float64) {
+	t.Helper()
+	ref, err := NewEvaluator(g, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetAllSizes(size)
+	ref.RecomputeSerial()
+	lambda := make([]float64, g.NumNodes())
+	for i := range lambda {
+		lambda[i] = 0.5 + float64(i%7)*0.3
+	}
+	refR := make([]float64, g.NumNodes())
+	ref.UpstreamResistanceSerial(lambda, refR)
+	want := snapshot(ref)
+
+	for _, parts := range []int{1, 2, 3, 7} {
+		lv, err := NewEvaluator(g, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lv.SetRunner(chunkedRunner(parts))
+		lv.SetAllSizes(size)
+		lv.Recompute()
+		got := snapshot(lv)
+		for name, w := range want {
+			for i := range w {
+				if got[name][i] != w[i] {
+					t.Fatalf("parts=%d: %s[%d] = %.17g, serial reference %.17g",
+						parts, name, i, got[name][i], w[i])
+				}
+			}
+		}
+		lvR := make([]float64, g.NumNodes())
+		lv.UpstreamResistance(lambda, lvR)
+		for i := range refR {
+			if lvR[i] != refR[i] {
+				t.Fatalf("parts=%d: R[%d] = %.17g, serial reference %.17g", parts, i, lvR[i], refR[i])
+			}
+		}
+	}
+}
+
+// TestLevelizedMatchesSerialFixtures cross-checks the levelized schedule on
+// the package's hand-built fixtures, coupled and uncoupled.
+func TestLevelizedMatchesSerialFixtures(t *testing.T) {
+	chainG, _ := chain(t)
+	requireLevelizedMatchesSerial(t, chainG, emptySet(t), 1)
+	pairG, _, pairCS := coupledPair(t, 1.5)
+	requireLevelizedMatchesSerial(t, pairG, pairCS, 0.7)
+}
+
+// TestLevelizedMatchesSerialRandom cross-checks the levelized schedule on
+// random multi-stage DAGs across a range of sizes.
+func TestLevelizedMatchesSerialRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := randomDAG(t, seed)
+		requireLevelizedMatchesSerial(t, g, emptySet(t), 0.3+float64(seed%9)*0.4)
+	}
+}
+
+// TestLevelBucketsAreTopological asserts the evaluator's schedule premise
+// on random DAGs: levels strictly increase along every edge, and the
+// graph's buckets partition the nodes in ascending order.
+func TestLevelBucketsAreTopological(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomDAG(t, seed)
+		seen := make([]int, g.NumNodes())
+		for l := 0; l < g.NumLevels(); l++ {
+			nodes := g.LevelNodes(l)
+			for k, i := range nodes {
+				if g.Level(int(i)) != l {
+					t.Fatalf("seed %d: node %d in bucket %d but Level says %d", seed, i, l, g.Level(int(i)))
+				}
+				if k > 0 && nodes[k-1] >= i {
+					t.Fatalf("seed %d: bucket %d not ascending", seed, l)
+				}
+				seen[i]++
+			}
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("seed %d: node %d appears %d times in level buckets", seed, i, n)
+			}
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			for _, j := range g.In(i) {
+				if g.Level(int(j)) >= g.Level(i) {
+					t.Fatalf("seed %d: edge (%d,%d) does not increase level (%d → %d)",
+						seed, j, i, g.Level(int(j)), g.Level(i))
+				}
+			}
+		}
+	}
+}
+
+// TestDriverOnlyCircuit covers the smallest buildable graph: one driver
+// marked as a primary output, no sizable components at all.
+func TestDriverOnlyCircuit(t *testing.T) {
+	b := circuit.NewBuilder()
+	d := b.AddDriver("D", 100)
+	b.MarkOutput(d, 10)
+	g, id, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(g, emptySet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Recompute()
+	di := id[d]
+	if e.B[di] != 10 || e.C[di] != 10 {
+		t.Errorf("B, C = %g, %g, want 10, 10 (output load only)", e.B[di], e.C[di])
+	}
+	wantD := 100 * 1e-3 * 10 // R_D·C_L·RC
+	if math.Abs(e.D[di]-wantD) > 1e-12 {
+		t.Errorf("D = %g, want %g", e.D[di], wantD)
+	}
+	if e.MaxArrival() != e.D[di] {
+		t.Errorf("MaxArrival = %g, want %g", e.MaxArrival(), e.D[di])
+	}
+	if cp := e.CriticalPath(); len(cp) != 1 || cp[0] != di {
+		t.Errorf("CriticalPath = %v, want [%d]", cp, di)
+	}
+	if a := e.Area(); a != 0 {
+		t.Errorf("Area = %g, want 0 (nothing sizable)", a)
+	}
+	requireLevelizedMatchesSerial(t, g, emptySet(t), 1)
+}
+
+// TestSinkFeederOnlyNet covers a net that feeds the sink directly from its
+// driver through a single wire (no gates anywhere).
+func TestSinkFeederOnlyNet(t *testing.T) {
+	b := circuit.NewBuilder()
+	d := b.AddDriver("D", 50)
+	w := b.AddWire("w", 10, 2, 1, 40, 1, 0.1, 10)
+	b.Connect(d, w)
+	b.MarkOutput(w, 8)
+	g, id, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(g, emptySet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetAllSizes(2)
+	e.Recompute()
+	wi, di := id[w], id[d]
+	if e.B[wi] != 8 {
+		t.Errorf("B(w) = %g, want 8 (output load)", e.B[wi])
+	}
+	// C = B + f/2 + ĉx/2 = 8 + 0.5 + 2.
+	if math.Abs(e.C[wi]-10.5) > 1e-12 {
+		t.Errorf("C(w) = %g, want 10.5", e.C[wi])
+	}
+	if cp := e.CriticalPath(); len(cp) != 2 || cp[0] != di || cp[1] != wi {
+		t.Errorf("CriticalPath = %v, want [%d %d]", cp, di, wi)
+	}
+	lambda := make([]float64, g.NumNodes())
+	lambda[di] = 2
+	r := make([]float64, g.NumNodes())
+	e.UpstreamResistance(lambda, r)
+	if math.Abs(r[wi]-2*50*1e-3) > 1e-15 {
+		t.Errorf("R(w) = %g, want 0.1 (λ_D·R_D·RC)", r[wi])
+	}
+	requireLevelizedMatchesSerial(t, g, emptySet(t), 2)
+}
+
+// TestZeroCouplingSet pins the uncoupled degenerate case: nil neighbour
+// arrays, empty gather lists, zero noise, and no CNbr term in C.
+func TestZeroCouplingSet(t *testing.T) {
+	g, id := chain(t)
+	e, err := NewEvaluator(g, emptySet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CNbr != nil || e.CHat != nil || e.CCst != nil {
+		t.Error("uncoupled evaluator allocated coupling arrays")
+	}
+	ids, ws := e.NbrEntries(id["w"])
+	if ids != nil || ws != nil {
+		t.Errorf("NbrEntries on uncoupled evaluator = %v, %v, want nil, nil", ids, ws)
+	}
+	e.SetAllSizes(1)
+	e.Recompute()
+	if e.NoiseLinear() != 0 || e.NoiseExact() != 0 {
+		t.Errorf("noise = %g / %g, want 0 / 0", e.NoiseLinear(), e.NoiseExact())
+	}
+}
+
+// TestSetSizesErrorPaths exercises every rejection branch: wrong length,
+// NaN, and ±Inf entries — and checks a rejected call leaves sizes intact.
+func TestSetSizesErrorPaths(t *testing.T) {
+	g, id := chain(t)
+	e, _ := NewEvaluator(g, emptySet(t))
+	good := make([]float64, g.NumNodes())
+	good[id["w"]], good[id["g"]], good[id["w2"]] = 2, 3, 4
+	if err := e.SetSizes(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetSizes([]float64{1, 2}); err == nil {
+		t.Error("SetSizes accepted wrong-length vector")
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		x := make([]float64, g.NumNodes())
+		copy(x, good)
+		x[id["g"]] = bad
+		if err := e.SetSizes(x); err == nil {
+			t.Errorf("SetSizes accepted %g", bad)
+		}
+		if e.X[id["g"]] != 3 {
+			t.Errorf("rejected SetSizes mutated X: %g", e.X[id["g"]])
+		}
+	}
+	// Non-sizable slots may hold anything: they are ignored, not validated.
+	x := make([]float64, g.NumNodes())
+	copy(x, good)
+	x[0] = math.NaN()
+	if err := e.SetSizes(x); err != nil {
+		t.Errorf("SetSizes rejected NaN on non-sizable node: %v", err)
+	}
+}
+
+// TestCriticalPathNoSinkFeeders is the regression test for the degenerate
+// graph whose sink has no predecessors (buildable only via BuildLoose):
+// Recompute must define the sink arrival as 0 rather than leave it to
+// whatever the arrays held, and CriticalPath must return nil.
+func TestCriticalPathNoSinkFeeders(t *testing.T) {
+	b := circuit.NewBuilder()
+	d := b.AddDriver("D", 100)
+	w := b.AddWire("w", 10, 2, 1, 50, 1, 0.1, 10)
+	b.Connect(d, w) // w dangles: no MarkOutput, so the sink has no feeders
+	g, id, err := b.BuildLoose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.In(g.SinkID())); n != 0 {
+		t.Fatalf("sink has %d feeders, want 0", n)
+	}
+	e, err := NewEvaluator(g, emptySet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetAllSizes(1)
+	// Poison the arrays so a pass that "relies on zero values" fails loudly.
+	for i := range e.A {
+		e.A[i] = -7
+		e.D[i] = -7
+	}
+	e.Recompute()
+	if e.MaxArrival() != 0 {
+		t.Errorf("MaxArrival = %g, want 0 with no sink feeders", e.MaxArrival())
+	}
+	if e.D[g.SinkID()] != 0 {
+		t.Errorf("D(sink) = %g, want 0", e.D[g.SinkID()])
+	}
+	if e.A[id[w]] <= 0 {
+		t.Errorf("A(w) = %g, want positive (the dangling net still evaluates)", e.A[id[w]])
+	}
+	if cp := e.CriticalPath(); cp != nil {
+		t.Errorf("CriticalPath = %v, want nil", cp)
+	}
+	requireLevelizedMatchesSerial(t, g, emptySet(t), 1)
+}
+
+// TestSetAllSizesNonFinite pins the clamp semantics for non-finite inputs:
+// NaN and −Inf fall to each lower bound, +Inf to each upper bound — NaN
+// must never reach X.
+func TestSetAllSizesNonFinite(t *testing.T) {
+	g, id := chain(t)
+	e, _ := NewEvaluator(g, emptySet(t))
+	for _, tc := range []struct {
+		v    float64
+		want func(c *circuit.Component) float64
+	}{
+		{math.NaN(), func(c *circuit.Component) float64 { return c.Lo }},
+		{math.Inf(-1), func(c *circuit.Component) float64 { return c.Lo }},
+		{math.Inf(1), func(c *circuit.Component) float64 { return c.Hi }},
+	} {
+		e.SetAllSizes(tc.v)
+		for _, name := range []string{"w", "g", "w2"} {
+			i := id[name]
+			if got, want := e.X[i], tc.want(g.Comp(i)); got != want {
+				t.Errorf("SetAllSizes(%g): X[%s] = %g, want %g", tc.v, name, got, want)
 			}
 		}
 	}

@@ -28,7 +28,10 @@
 //   - Within one solve, the per-node loops (the LRS resize sweep, the
 //     evaluator's independent Recompute passes, multiplier node sums,
 //     subgradient steps, and gradient norms) are sharded across a worker
-//     pool sized by Options.Workers (0 = all cores, 1 = serial). All
+//     pool sized by Options.Workers (0 = all cores, 1 = serial), and the
+//     evaluator's topological passes (stage loads, arrival times, upstream
+//     resistances) run levelized — depth bucket by depth bucket — over the
+//     same pool, so no serial Amdahl kernel remains in the solve. All
 //     reductions are deterministic — maxima are exact under any grouping
 //     and sums fold per-node scratch in index order — so results are
 //     bit-identical for every Workers setting.
