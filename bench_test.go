@@ -448,3 +448,170 @@ func BenchmarkLevelizedLRS(b *testing.B) {
 		})
 	}
 }
+
+// incrementalScenario builds one warm-start solve setup for the
+// incremental benchmarks: a prebuilt evaluator (primed by a full pass) and
+// solver options with binding bounds. Workers is pinned to 1 so the
+// numbers isolate evaluation work, not pool scheduling.
+type incrementalScenario struct {
+	name  string
+	build func(b *testing.B) (*rc.Evaluator, core.Options)
+}
+
+func incrementalScenarios() []incrementalScenario {
+	return []incrementalScenario{
+		{name: "c880", build: func(b *testing.B) (*rc.Evaluator, core.Options) {
+			inst := instanceFor(b, "c880")
+			bounds := bench.DeriveBounds(inst)
+			opt := core.DefaultOptions(bounds.A0, bounds.NoiseBound, bounds.PowerBound)
+			opt.MaxIterations = 200
+			opt.WarmStart = true
+			opt.Workers = 1
+			return inst.Eval, opt
+		}},
+		{name: "grid32x24", build: func(b *testing.B) (*rc.Evaluator, core.Options) {
+			g, cs, err := bench.Grid(32, 24, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev, err := rc.NewEvaluator(g, cs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev.SetAllSizes(1)
+			ev.Recompute()
+			a0 := ev.MaxArrival()
+			ev.SetAllSizes(0.1)
+			ev.Recompute()
+			noise := 1.25*ev.NoiseLinear() + cs.ConstantOffset()
+			power := 1.25 * ev.TotalCap()
+			ev.SetAllSizes(1)
+			ev.Recompute()
+			opt := core.DefaultOptions(a0, noise, power)
+			opt.MaxIterations = 120
+			opt.WarmStart = true
+			opt.Workers = 1
+			return ev, opt
+		}},
+	}
+}
+
+// BenchmarkIncrementalSolve times one complete warm-started OGWS solve
+// per op with the evaluation engine in each mode: "full" pays the whole
+// circuit on every LRS sweep (Options.Incremental = false), "incremental"
+// runs the dirty-cone/active-set engine (the default). The two modes are
+// bit-identical at every step, so ns/op, allocs/op, and the
+// evalNodesPerSweep metric compare exactly the same trajectory. The
+// incremental case also reports workReductionX — full-pass node visits
+// divided by measured visits, derivable analytically because both modes
+// execute identical sweep counts:
+//
+//	fullVisits = (sweeps + trailingFulls)·recomputeBodies + sweeps·upstreamBodies
+//
+// where trailingFulls = FullRecomputes − DegradedRecomputes: the
+// deliberate full passes (one per LRS call plus result restores, which
+// the full mode pays too) but NOT the sweep-top refreshes that degraded
+// past the coneWorthwhile cutover — those stand in for a sweep's
+// recompute, which `sweeps` already charges once.
+func BenchmarkIncrementalSolve(b *testing.B) {
+	for _, sc := range incrementalScenarios() {
+		for _, mode := range []string{"full", "incremental"} {
+			b.Run(sc.name+"/"+mode, func(b *testing.B) {
+				ev, opt := sc.build(b)
+				opt.Incremental = mode == "incremental"
+				initX := append([]float64(nil), ev.X...)
+				sol, err := core.NewSolver(ev, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sol.Close()
+				var last *core.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					if err := ev.SetSizes(initX); err != nil {
+						b.Fatal(err)
+					}
+					ev.Recompute()
+					ev.ResetStats()
+					b.StartTimer()
+					res, err := sol.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				st := ev.Stats()
+				sweeps := st.FullUpstreams + st.IncUpstreams // one upstream pass per sweep
+				if sweeps == 0 {
+					b.Fatal("no sweeps recorded")
+				}
+				nn := int64(ev.Graph().NumNodes())
+				b.ReportMetric(float64(last.Iterations), "iters")
+				b.ReportMetric(float64(st.NodeVisits())/float64(sweeps), "evalNodesPerSweep")
+				if mode == "incremental" {
+					recBodies := 3 * (nn - 2)
+					if ev.Couplings().Len() > 0 {
+						recBodies += nn
+					}
+					trailingFulls := st.FullRecomputes - st.DegradedRecomputes
+					fullVisits := (sweeps+trailingFulls)*recBodies + sweeps*(nn-2)
+					b.ReportMetric(float64(fullVisits)/float64(st.NodeVisits()), "workReductionX")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIncrementalEval isolates the raw dirty-cone win in an
+// ECO-style query: perturb k sizes on the ≥10k-node deep mesh, then bring
+// the timing state (Recompute) and the weighted upstream resistances back
+// up to date — incrementally versus with the full reference passes. This
+// is the per-sweep kernel of every late-convergence LRS iteration.
+func BenchmarkIncrementalEval(b *testing.B) {
+	g, cs, err := bench.Grid(64, 78, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sizable []int
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Comp(i).Kind.Sizable() {
+			sizable = append(sizable, i)
+		}
+	}
+	lambda := make([]float64, g.NumNodes())
+	for i := range lambda {
+		lambda[i] = 0.3 + float64(i%7)*0.2
+	}
+	for _, k := range []int{1, 16, 256} {
+		for _, mode := range []string{"full", "incremental"} {
+			b.Run(fmt.Sprintf("deep64x78/dirty%d/%s", k, mode), func(b *testing.B) {
+				ev, err := rc.NewEvaluator(g, cs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev.SetAllSizes(1)
+				ev.Recompute()
+				rup := make([]float64, g.NumNodes())
+				ev.UpstreamResistance(lambda, rup)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < k; j++ {
+						node := sizable[(i*8191+j*193)%len(sizable)]
+						v := 0.8 + 0.5*float64((i+j)%2)
+						if _, err := ev.SetSize(node, v); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if mode == "incremental" {
+						ev.RecomputeIncremental()
+						ev.UpstreamResistanceIncremental(lambda, rup)
+					} else {
+						ev.Recompute()
+						ev.UpstreamResistance(lambda, rup)
+					}
+				}
+			})
+		}
+	}
+}

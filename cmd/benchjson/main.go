@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON snapshot — the committed benchmark trajectory (BENCH_PR3.json
+// and successors) that lets future PRs diff ns/op, allocs/op, and custom
+// metrics against a recorded baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Incremental -benchmem -benchtime 1x . | benchjson -out BENCH_PR3.json
+//
+// The output is deterministic for a given input: benchmarks keep their
+// input order, metric maps marshal with sorted keys, and no timestamps are
+// embedded (goos/goarch/cpu identify the machine class instead).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Runs       int64              `json:"runs"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the committed document.
+type Snapshot struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+	snap, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(snap, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output: header lines (goos/goarch/pkg/
+// cpu) and result lines of the form
+//
+//	BenchmarkName-8   12   345 ns/op   6 B/op   7 allocs/op   8.9 custom/metric
+//
+// Lines that match neither shape (PASS, ok, warnings) are skipped.
+func parse(sc *bufio.Scanner) (*Snapshot, error) {
+	snap := &Snapshot{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Runs: runs}
+		for k := 2; k+1 < len(fields); k += 2 {
+			val, err := strconv.ParseFloat(fields[k], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[k], line)
+			}
+			switch unit := fields[k+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				v := val
+				b.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				b.AllocsOp = &v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	return snap, sc.Err()
+}

@@ -107,12 +107,14 @@ func TILOS(ev *rc.Evaluator, opt TILOSOptions) (*TILOSResult, error) {
 	ev.Recompute()
 
 	res := &TILOSResult{}
+	var path []int // reused across moves; AppendCriticalPath allocates only growth
 	for res.Moves < opt.MaxMoves && ev.MaxArrival() > opt.A0 {
 		delay := ev.MaxArrival()
 		area := ev.Area()
 		best, bestScore := -1, 0.0
 		var bestSize float64
-		for _, i := range ev.CriticalPath() {
+		path = ev.AppendCriticalPath(path[:0])
+		for _, i := range path {
 			c := g.Comp(i)
 			if !c.Kind.Sizable() || ev.X[i] >= c.Hi {
 				continue

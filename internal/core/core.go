@@ -100,6 +100,24 @@ type Options struct {
 	// folded in node order from per-node scratch — so results are
 	// bit-identical for every Workers setting.
 	Workers int
+	// Incremental enables dirty-cone evaluation and active-set sweeps
+	// inside LRS: between sweeps the evaluator refreshes only the forward/
+	// backward cones of the sizes that actually moved
+	// (rc.RecomputeIncremental / rc.UpstreamResistanceIncremental), and the
+	// Theorem-5 resize skips nodes that reached a bitwise fixed point until
+	// a neighbour's change reactivates them. With ActiveSetTol = 0 (the
+	// default) results are bit-identical to the full passes — a node is
+	// skipped only when re-running its body could not change a single bit —
+	// so the golden fixtures hold in either mode. False is the escape
+	// hatch: every sweep runs the full passes of the paper's Figure 8.
+	// DefaultOptions turns it on.
+	Incremental bool
+	// ActiveSetTol is the per-node relative movement at or below which an
+	// active-set sweep deactivates a node (Incremental only). 0 deactivates
+	// only bitwise-stationary nodes, preserving exactness; larger values
+	// prune harder and trade last-bits accuracy for speed (the final
+	// metrics are still evaluated by a full pass on the actual sizes).
+	ActiveSetTol float64
 	// AutoScale multiplies the multiplier seeds and subgradient steps by
 	// the problem's natural dual magnitudes: S/A0 for the timing weights
 	// and S/P′, S/X′ for β, γ, where S = Σαᵢ√(LᵢUᵢ) is the geometric
@@ -130,6 +148,7 @@ func DefaultOptions(a0, noiseBound, powerCapBound float64) Options {
 		LRSMaxSweeps:       200,
 		LRSTol:             1e-7,
 		LRSDamping:         0.7,
+		Incremental:        true,
 		RelativeViolations: true,
 		AutoScale:          true,
 		Polyak:             true,
@@ -158,6 +177,9 @@ func (o *Options) validate() error {
 	}
 	if o.LRSDamping <= 0 || o.LRSDamping > 1 {
 		o.LRSDamping = 0.7
+	}
+	if o.ActiveSetTol < 0 || math.IsNaN(o.ActiveSetTol) {
+		o.ActiveSetTol = 0
 	}
 	if o.PolyakTheta <= 0 || o.PolyakTheta >= 2 {
 		o.PolyakTheta = 1
@@ -242,6 +264,19 @@ type Solver struct {
 	shardMax    []float64
 	normScratch []float64
 
+	// Active-set LRS state (Incremental mode): the sizable node index,
+	// the current active list with its dedup bitmap, and the reusable
+	// per-shard dirty buffers the resize sweep fills — movedEval collects
+	// bitwise moves (they drive the incremental refresh), movedAct the
+	// moves beyond ActiveSetTol (they stay active next sweep). Excluded
+	// from memoryBytes like shardMax: the analytic footprint must be
+	// identical for every execution mode.
+	sizable   []int32
+	active    []int32
+	inActive  []bool
+	movedEval [][]int32
+	movedAct  [][]int32
+
 	// Per-net crosstalk extension state (nil when unused).
 	vBound []float64 // X′_v per node; NaN where unconstrained
 	gammaV []float64 // γᵥ per node
@@ -277,7 +312,14 @@ func NewSolver(ev *rc.Evaluator, opt Options) (*Solver, error) {
 	for i := 0; i < g.NumNodes(); i++ {
 		if c := g.Comp(i); c.Kind.Sizable() {
 			s.rEff[i] = tech.RC * c.RUnit
+			s.sizable = append(s.sizable, int32(i))
 		}
+	}
+	if opt.Incremental {
+		s.active = make([]int32, 0, len(s.sizable))
+		s.inActive = make([]bool, g.NumNodes())
+		s.movedEval = make([][]int32, workers)
+		s.movedAct = make([][]int32, workers)
 	}
 	if opt.NoiseBound > 0 {
 		off := ev.Couplings().ConstantOffset()
@@ -373,19 +415,24 @@ func (s *Solver) Close() {
 // LRS solves the Lagrangian relaxation subproblem LRS₂ for the current
 // multipliers (Figure 8) and returns the number of sweeps used. The
 // evaluator's sizes hold the minimizer afterwards, with derived state
-// recomputed.
+// recomputed (always by a final full pass, so the values the dual and the
+// reported metrics read never ride on incremental bookkeeping). With
+// Options.Incremental the sweeps run the dirty-cone/active-set engine
+// (lrsActiveSet); otherwise every sweep runs the paper's full passes.
+// At ActiveSetTol = 0 the two paths are bit-identical.
 func (s *Solver) LRS() int {
-	ev := s.ev
-	g := ev.Graph()
-	if !s.opt.WarmStart {
-		// S1: start from the lower bounds.
-		for i := 1; i < g.NumNodes()-1; i++ {
-			if c := g.Comp(i); c.Kind.Sizable() {
-				ev.X[i] = c.Lo
-			}
-		}
+	if s.opt.Incremental {
+		return s.lrsActiveSet()
 	}
-	beta, gamma := s.mult.Beta, s.mult.Gamma
+	return s.lrsFull()
+}
+
+// lrsPrelude computes the effective scalar multipliers for a sweep
+// sequence and refreshes the per-net crosstalk denominators, which stay
+// frozen for the whole LRS call.
+func (s *Solver) lrsPrelude() (beta, gamma float64) {
+	ev := s.ev
+	beta, gamma = s.mult.Beta, s.mult.Gamma
 	if math.IsNaN(s.pBound) {
 		beta = 0
 	}
@@ -396,7 +443,7 @@ func (s *Solver) LRS() int {
 		// Per-net extension: the derivative of Σᵥ γᵥ·Nᵥ(x) with respect to
 		// xᵢ is Σ_{(i,j)} (γᵢ+γⱼ)·wᵢⱼ·ĉᵢⱼ; γ is fixed for the whole LRS
 		// call, so refresh the per-node sums once, gathered per node.
-		s.pool.run(0, g.NumNodes(), func(_, lo, hi int) {
+		s.pool.run(0, ev.Graph().NumNodes(), func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				ids, ws := ev.NbrEntries(i)
 				gi := s.gammaV[i]
@@ -410,6 +457,24 @@ func (s *Solver) LRS() int {
 			}
 		})
 	}
+	return beta, gamma
+}
+
+// lrsFull is the paper-faithful LRS loop: every sweep pays a full
+// Recompute and a full UpstreamResistance (the Incremental=false escape
+// hatch, and the oracle the active-set path is pinned to).
+func (s *Solver) lrsFull() int {
+	ev := s.ev
+	g := ev.Graph()
+	if !s.opt.WarmStart {
+		// S1: start from the lower bounds.
+		for i := 1; i < g.NumNodes()-1; i++ {
+			if c := g.Comp(i); c.Kind.Sizable() {
+				ev.X[i] = c.Lo
+			}
+		}
+	}
+	beta, gamma := s.lrsPrelude()
 	sweeps := 0
 	for sweeps < s.opt.LRSMaxSweeps {
 		sweeps++
@@ -437,55 +502,201 @@ func (s *Solver) LRS() int {
 	return sweeps
 }
 
+// lrsActiveSet is the incremental LRS loop. Sweep 1 is full — the
+// multipliers moved since the last call, so every upstream resistance and
+// every resize input may have changed — but from sweep 2 on the evaluator
+// refreshes only the cones of the sizes that moved, and the resize runs
+// only over the active set: nodes that moved beyond ActiveSetTol in the
+// previous sweep plus nodes whose Theorem-5 inputs (C′, coupling sum,
+// upstream resistance) the refresh actually changed. At ActiveSetTol = 0
+// a node is dropped only at a bitwise fixed point with bitwise-unchanged
+// inputs, where re-running the resize body reproduces the same size
+// exactly — so sweep counts, every size, and the break decision match
+// lrsFull bit for bit.
+func (s *Solver) lrsActiveSet() int {
+	ev := s.ev
+	g := ev.Graph()
+	if !s.opt.WarmStart {
+		// S1: start from the lower bounds, recording the real moves so the
+		// first incremental refresh sees them.
+		for _, ii := range s.sizable {
+			i := int(ii)
+			if c := g.Comp(i); ev.X[i] != c.Lo {
+				ev.X[i] = c.Lo
+				ev.MarkDirty(i)
+			}
+		}
+	}
+	beta, gamma := s.lrsPrelude()
+	sweeps := 0
+	for sweeps < s.opt.LRSMaxSweeps {
+		sweeps++
+		// S2/S3: refresh exactly what the recorded moves can reach.
+		chgLoads, coneLoads := ev.RecomputeIncremental()
+		if sweeps == 1 {
+			ev.UpstreamResistance(s.lambda, s.rup)
+			s.active = append(s.active[:0], s.sizable...)
+		} else if chgUp, coneUp := ev.UpstreamResistanceIncremental(s.lambda, s.rup); coneLoads && coneUp {
+			s.buildActive(chgLoads, chgUp)
+		} else {
+			// A refresh degraded to a full pass, so the exact change feed
+			// is unknown: over-activate. Nodes whose inputs did not move
+			// re-derive their size bit-exactly, so this only costs work,
+			// never bits.
+			s.active = append(s.active[:0], s.sizable...)
+		}
+		if len(s.active) == 0 {
+			// Every node is at a fixed point with unchanged inputs: a full
+			// sweep would measure maxRel = 0 and stop here too.
+			break
+		}
+		// S4/S5 over the active set only.
+		if s.resizeActiveSet(beta, gamma) < s.opt.LRSTol {
+			break
+		}
+	}
+	ev.Recompute()
+	return sweeps
+}
+
+// buildActive assembles the next sweep's active set: last sweep's
+// beyond-tolerance movers first (in shard order), then the nodes whose
+// resize inputs the incremental refresh changed. Duplicates and
+// non-sizable entries in the change feeds are filtered here; the bitmap
+// is left all-false again so stale bits can never mask a reactivation.
+func (s *Solver) buildActive(chgLoads, chgUp []int32) {
+	g := s.ev.Graph()
+	s.active = s.active[:0]
+	add := func(n int32) {
+		if !s.inActive[n] && g.Comp(int(n)).Kind.Sizable() {
+			s.inActive[n] = true
+			s.active = append(s.active, n)
+		}
+	}
+	for _, buf := range s.movedAct {
+		for _, n := range buf {
+			add(n)
+		}
+	}
+	for _, n := range chgLoads {
+		add(n)
+	}
+	for _, n := range chgUp {
+		add(n)
+	}
+	for _, n := range s.active {
+		s.inActive[n] = false
+	}
+}
+
+// resizeActiveSet runs one Jacobi resize sweep over the active list,
+// sharded on the pool, and returns the largest relative size change. The
+// per-shard moved buffers are folded serially in shard order, so the
+// dirty-mark order — and with it every downstream walk — is deterministic
+// at every Workers width.
+func (s *Solver) resizeActiveSet(beta, gamma float64) float64 {
+	ev := s.ev
+	for i := range s.movedEval {
+		s.movedEval[i] = s.movedEval[i][:0]
+		s.movedAct[i] = s.movedAct[i][:0]
+	}
+	active := s.active
+	shards := s.pool.run(0, len(active), func(shard, lo, hi int) {
+		s.shardMax[shard] = s.resizeList(beta, gamma, active[lo:hi], shard)
+	})
+	maxRel := 0.0
+	for sh := 0; sh < shards; sh++ {
+		if s.shardMax[sh] > maxRel {
+			maxRel = s.shardMax[sh]
+		}
+	}
+	for sh := 0; sh < shards; sh++ {
+		for _, n := range s.movedEval[sh] {
+			ev.MarkDirty(int(n))
+		}
+	}
+	return maxRel
+}
+
+// resizeList applies resizeNode to the listed nodes, filling the shard's
+// moved buffers, and returns the largest relative change in the list.
+func (s *Solver) resizeList(beta, gamma float64, nodes []int32, shard int) float64 {
+	maxRel := 0.0
+	for _, ii := range nodes {
+		rel, moved := s.resizeNode(beta, gamma, int(ii))
+		if moved {
+			s.movedEval[shard] = append(s.movedEval[shard], ii)
+		}
+		if rel > s.opt.ActiveSetTol {
+			s.movedAct[shard] = append(s.movedAct[shard], ii)
+		}
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
+}
+
 // resizeRange applies Theorem 5's closed-form optimal resize to nodes
 // [lo, hi) and returns the largest relative size change in the range. Safe
 // on disjoint ranges concurrently: every input (λ, R, C′, the coupling
 // sums) is frozen for the sweep and each node writes only its own xᵢ.
 func (s *Solver) resizeRange(beta, gamma float64, lo, hi int) float64 {
-	ev := s.ev
-	g := ev.Graph()
+	g := s.ev.Graph()
 	maxRel := 0.0
 	for i := lo; i < hi; i++ {
-		c := g.Comp(i)
-		if !c.Kind.Sizable() {
+		if !g.Comp(i).Kind.Sizable() {
 			continue
 		}
-		num := s.lambda[i] * s.rEff[i] * (ev.CPr[i] + nbr(ev, i))
-		den := c.AreaCoeff + (beta+s.rup[i])*c.CUnit
-		if ev.CHat != nil {
-			den += gamma * ev.CHat[i]
-		}
-		if s.denV != nil {
-			den += s.denV[i]
-		}
-		var opt float64
-		switch {
-		case den <= 0 && num > 0:
-			opt = c.Hi
-		case num <= 0:
-			opt = c.Lo
-		default:
-			opt = math.Sqrt(num / den)
-		}
-		// Damped update in log space; same fixed point as the pure
-		// xᵢ ← optᵢ assignment, but immune to Jacobi oscillation.
-		x := ev.X[i]
-		if w := s.opt.LRSDamping; w == 1 {
-			x = opt
-		} else {
-			x = math.Exp((1-w)*math.Log(x) + w*math.Log(math.Max(opt, 1e-300)))
-		}
-		if x < c.Lo {
-			x = c.Lo
-		} else if x > c.Hi {
-			x = c.Hi
-		}
-		if rel := math.Abs(x-ev.X[i]) / math.Max(ev.X[i], 1e-12); rel > maxRel {
+		rel, _ := s.resizeNode(beta, gamma, i)
+		if rel > maxRel {
 			maxRel = rel
 		}
-		ev.X[i] = x
 	}
 	return maxRel
+}
+
+// resizeNode applies Theorem 5's closed-form optimal resize to the sizable
+// node i, returning the relative size change and whether the stored size
+// changed at all (bitwise). The single shared body is what makes the full
+// and active-set sweeps bit-identical.
+func (s *Solver) resizeNode(beta, gamma float64, i int) (rel float64, moved bool) {
+	ev := s.ev
+	c := ev.Graph().Comp(i)
+	num := s.lambda[i] * s.rEff[i] * (ev.CPr[i] + nbr(ev, i))
+	den := c.AreaCoeff + (beta+s.rup[i])*c.CUnit
+	if ev.CHat != nil {
+		den += gamma * ev.CHat[i]
+	}
+	if s.denV != nil {
+		den += s.denV[i]
+	}
+	var opt float64
+	switch {
+	case den <= 0 && num > 0:
+		opt = c.Hi
+	case num <= 0:
+		opt = c.Lo
+	default:
+		opt = math.Sqrt(num / den)
+	}
+	// Damped update in log space; same fixed point as the pure
+	// xᵢ ← optᵢ assignment, but immune to Jacobi oscillation.
+	x := ev.X[i]
+	if w := s.opt.LRSDamping; w == 1 {
+		x = opt
+	} else {
+		x = math.Exp((1-w)*math.Log(x) + w*math.Log(math.Max(opt, 1e-300)))
+	}
+	if x < c.Lo {
+		x = c.Lo
+	} else if x > c.Hi {
+		x = c.Hi
+	}
+	rel = math.Abs(x-ev.X[i]) / math.Max(ev.X[i], 1e-12)
+	moved = x != ev.X[i]
+	ev.X[i] = x
+	return rel, moved
 }
 
 func nbr(ev *rc.Evaluator, i int) float64 {
@@ -503,9 +714,21 @@ func nbr(ev *rc.Evaluator, i int) float64 {
 func (s *Solver) dual(area, powerViol, noiseViol float64) float64 {
 	ev := s.ev
 	g := ev.Graph()
+	nn := g.NumNodes()
+	// The λᵢ·Dᵢ terms are gathered in parallel and folded serially in node
+	// order — the identical products, summed in the identical order, as
+	// the old serial loop, so the dual is bit-identical at every Workers
+	// width. normScratch is free here: its other users (perNetPass,
+	// delayGradNormSq) run strictly after dual within an iteration and
+	// write every entry they read.
+	s.pool.run(1, nn-1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.normScratch[i] = s.lambda[i] * ev.D[i]
+		}
+	})
 	d := area
-	for i := 1; i < g.NumNodes()-1; i++ {
-		d += s.lambda[i] * ev.D[i]
+	for i := 1; i < nn-1; i++ {
+		d += s.normScratch[i]
 	}
 	d -= s.opt.A0 * s.mult.SinkFlow()
 	if !math.IsNaN(s.pBound) {
@@ -875,8 +1098,10 @@ func (s *Solver) memoryBytes() int {
 	}
 	b += (len(s.lambda) + len(s.rup) + len(s.rEff)) * 8
 	b += (len(s.vBound) + len(s.gammaV) + len(s.denV)) * 8
-	// shardMax is excluded: its length tracks the Workers setting and the
-	// analytic footprint must be identical for every parallel width.
+	// shardMax and the active-set scratch (sizable, active, inActive, the
+	// per-shard moved buffers) are excluded: their sizes track the Workers
+	// and Incremental settings, and the analytic footprint must be
+	// identical for every execution mode.
 	b += len(s.normScratch) * 8
 	return b
 }

@@ -213,12 +213,21 @@ func stepValue(v, delta, trust float64, relative bool) float64 {
 // the multiplier is zero and the constraint is slack (the projected
 // subgradient is zero there). Used by Polyak-style step sizing. The sum
 // folds per-node partials in node order, matching a DelayGradFillRange
-// pass combined by DelayGradNormSqFrom.
+// pass combined by DelayGradNormSqFrom. Allocates one scratch vector per
+// call; hot loops should hold a buffer and use DelayGradNormSqInto.
 func (m *Multipliers) DelayGradNormSq(a, d []float64, a0 float64) float64 {
+	return m.DelayGradNormSqInto(a, d, a0, make([]float64, m.g.NumNodes()))
+}
+
+// DelayGradNormSqInto is DelayGradNormSq with caller-supplied scratch of
+// length NumNodes, performing no allocation. The scratch holds the
+// per-node partials afterwards; the returned total folds them in node
+// order, so it is identical for every sharding that fills the same
+// scratch.
+func (m *Multipliers) DelayGradNormSqInto(a, d []float64, a0 float64, scratch []float64) float64 {
 	nn := m.g.NumNodes()
-	dst := make([]float64, nn)
-	m.DelayGradFillRange(a, d, a0, dst, 1, nn)
-	return DelayGradNormSqFrom(dst[1:])
+	m.DelayGradFillRange(a, d, a0, scratch, 1, nn)
+	return DelayGradNormSqFrom(scratch[1:nn])
 }
 
 // DelayGradFillRange writes each head node's active normalized squared

@@ -295,3 +295,32 @@ func TestMemoryBytes(t *testing.T) {
 		t.Error("MemoryBytes should be positive")
 	}
 }
+
+// TestDelayGradNormSqInto: the scratch variant must reproduce the
+// allocating one exactly and reuse the caller's buffer.
+func TestDelayGradNormSqInto(t *testing.T) {
+	g, _ := diamond(t)
+	m := New(g, 0.8)
+	nn := g.NumNodes()
+	a := make([]float64, nn)
+	d := make([]float64, nn)
+	for i := 0; i < nn; i++ {
+		a[i] = float64(i) * 1.7
+		d[i] = 1 + float64(i%4)
+	}
+	want := m.DelayGradNormSq(a, d, 9)
+	scratch := make([]float64, nn)
+	for i := range scratch {
+		scratch[i] = math.NaN() // any garbage must be overwritten
+	}
+	if got := m.DelayGradNormSqInto(a, d, 9, scratch); got != want {
+		t.Errorf("DelayGradNormSqInto = %.17g, want %.17g", got, want)
+	}
+	// Allocation-free on the hot path.
+	allocs := testing.AllocsPerRun(50, func() {
+		m.DelayGradNormSqInto(a, d, 9, scratch)
+	})
+	if allocs != 0 {
+		t.Errorf("DelayGradNormSqInto allocates %.0f objects per call", allocs)
+	}
+}

@@ -121,6 +121,103 @@ func dagFromBytes(t *testing.T, data []byte) (*circuit.Graph, *coupling.Set) {
 // levelized Recompute and UpstreamResistance against the serial reference
 // implementations to exact bitwise equality, under deliberately hostile
 // Runner chunkings.
+// FuzzIncremental is the dirty-cone engine's adversary: for every DAG the
+// bytes describe it replays random size-mutation batches on three
+// evaluators — one driven through RecomputeIncremental /
+// UpstreamResistanceIncremental serially, one through the same calls under
+// a hostile chunked Runner, and one full-pass serial oracle — and demands
+// exact bitwise equality of every derived array after every batch. Batches
+// of size zero exercise the empty-dirty-set path; repeated picks of the
+// same node exercise idempotent marking.
+func FuzzIncremental(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte("incremental cones must match the full pass bit for bit"))
+	f.Add([]byte{2, 0, 2, 0, 2, 0, 2, 0, 2, 0, 2, 0, 2, 0, 2, 0, 2, 0})
+	f.Add([]byte{250, 1, 250, 2, 250, 3, 250, 4, 250, 5, 250, 6, 250, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, cs := dagFromBytes(t, data)
+		if g == nil {
+			return
+		}
+		var sizable []int
+		for i := 0; i < g.NumNodes(); i++ {
+			if g.Comp(i).Kind.Sizable() {
+				sizable = append(sizable, i)
+			}
+		}
+		if len(sizable) == 0 {
+			return
+		}
+		newEv := func() *Evaluator {
+			ev, err := NewEvaluator(g, cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev.SetAllSizes(0.3 + float64(len(data)%30)/10)
+			return ev
+		}
+		inc, lv, ref := newEv(), newEv(), newEv()
+		lv.SetRunner(chunkedRunner(3))
+		inc.Recompute()
+		lv.Recompute()
+		ref.RecomputeSerial()
+		lambda := make([]float64, g.NumNodes())
+		for i := range lambda {
+			lambda[i] = float64((i*5+len(data))%9) / 4
+		}
+		rupInc := make([]float64, g.NumNodes())
+		rupLv := make([]float64, g.NumNodes())
+		rupRef := make([]float64, g.NumNodes())
+		inc.UpstreamResistance(lambda, rupInc)
+		lv.UpstreamResistance(lambda, rupLv)
+
+		feed := &byteFeed{data: data}
+		batches := 1 + feed.next()%4
+		for batch := 0; batch < batches; batch++ {
+			nMut := feed.next() % 6 // 0 → empty dirty set
+			for m := 0; m < nMut; m++ {
+				i := sizable[feed.next()%len(sizable)]
+				c := g.Comp(i)
+				v := c.Lo + float64(feed.next()%32)/31*(c.Hi-c.Lo)
+				if _, err := inc.SetSize(i, v); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := lv.SetSize(i, v); err != nil {
+					t.Fatal(err)
+				}
+				ref.X[i] = inc.X[i] // oracle runs full passes, no marking needed
+			}
+			inc.RecomputeIncremental()
+			lv.RecomputeIncremental()
+			ref.RecomputeSerial()
+			for i := 0; i < g.NumNodes(); i++ {
+				for _, e := range [2]*Evaluator{inc, lv} {
+					if e.B[i] != ref.B[i] || e.C[i] != ref.C[i] || e.CPr[i] != ref.CPr[i] ||
+						e.D[i] != ref.D[i] || e.A[i] != ref.A[i] ||
+						e.Cap[i] != ref.Cap[i] || e.RPs[i] != ref.RPs[i] {
+						t.Fatalf("batch %d node %d: incremental (B=%.17g C=%.17g D=%.17g A=%.17g) != full (B=%.17g C=%.17g D=%.17g A=%.17g)",
+							batch, i, e.B[i], e.C[i], e.D[i], e.A[i],
+							ref.B[i], ref.C[i], ref.D[i], ref.A[i])
+					}
+					if e.CNbr != nil && e.CNbr[i] != ref.CNbr[i] {
+						t.Fatalf("batch %d node %d: CNbr %.17g != %.17g", batch, i, e.CNbr[i], ref.CNbr[i])
+					}
+				}
+			}
+			inc.UpstreamResistanceIncremental(lambda, rupInc)
+			lv.UpstreamResistanceIncremental(lambda, rupLv)
+			ref.UpstreamResistanceSerial(lambda, rupRef)
+			for i := range rupRef {
+				if rupInc[i] != rupRef[i] || rupLv[i] != rupRef[i] {
+					t.Fatalf("batch %d node %d: incremental R (%.17g, %.17g) != full R %.17g",
+						batch, i, rupInc[i], rupLv[i], rupRef[i])
+				}
+			}
+		}
+	})
+}
+
 func FuzzLevelizer(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})

@@ -82,8 +82,38 @@ type Evaluator struct {
 	lvlNodes []int32
 
 	// X is the size vector indexed by node (µm); entries for source,
-	// drivers and sink are ignored. Mutate via SetSize/SetAllSizes.
+	// drivers and sink are ignored. Mutate via SetSize/SetSizes/
+	// SetAllSizes, or assign directly and MarkDirty the changed nodes
+	// before the next incremental pass.
 	X []float64
+
+	// Incremental (dirty-cone) evaluation state; see incremental.go.
+	// recValid flips once a full Recompute has established the derived
+	// arrays; the dirty sets log size changes for the two pass families
+	// (they consume independently — Recompute and UpstreamResistance run
+	// at different times on the same changes); the frontiers, change
+	// flags, and change logs are reusable walk scratch. All of it is
+	// excluded from MemoryBytes: the analytic footprint must be identical
+	// for every execution mode.
+	recValid bool
+	dirtyRec dirtySet
+	dirtyUp  dirtySet
+	nbrSet   dirtySet
+	frBack   *frontier
+	frFwd    *frontier
+	chg      []uint8
+	chgLoads []int32
+	chgUp    []int32
+	stats    EvalStats
+
+	// Persistent walk dispatch (see bindWalkBody): one closure for every
+	// frontier region, selected by walkOp over walkNodes, with the
+	// upstream pass's operands staged in walkLam/walkDst.
+	walkBody  func(lo, hi int)
+	walkOp    uint8
+	walkNodes []int32
+	walkLam   []float64
+	walkDst   []float64
 
 	// Per-node electrical state, valid after Recompute.
 	Cap  []float64 // cᵢ = ĉᵢxᵢ (+ fᵢ for wires); 0 for drivers
@@ -170,6 +200,14 @@ func NewEvaluator(g *circuit.Graph, cs *coupling.Set) (*Evaluator, error) {
 		e.lvlNodes[e.lvlOff[l]+fill[l]] = int32(i)
 		fill[l]++
 	}
+	// Dirty-cone scratch (incremental.go).
+	e.dirtyRec.init(nn)
+	e.dirtyUp.init(nn)
+	e.nbrSet.init(nn)
+	e.frBack = newFrontier(nLvl, nn)
+	e.frFwd = newFrontier(nLvl, nn)
+	e.chg = make([]uint8, nn)
+	e.bindWalkBody()
 	return e, nil
 }
 
@@ -223,7 +261,10 @@ func (e *Evaluator) SetAllSizes(v float64) {
 		if !c.Kind.Sizable() {
 			continue
 		}
-		e.X[i] = math.Min(c.Hi, math.Max(c.Lo, v))
+		if nv := math.Min(c.Hi, math.Max(c.Lo, v)); nv != e.X[i] {
+			e.X[i] = nv
+			e.MarkDirty(i)
+		}
 	}
 }
 
@@ -245,7 +286,10 @@ func (e *Evaluator) SetSizes(x []float64) error {
 		if !c.Kind.Sizable() {
 			continue
 		}
-		e.X[i] = math.Min(c.Hi, math.Max(c.Lo, x[i]))
+		if nv := math.Min(c.Hi, math.Max(c.Lo, x[i])); nv != e.X[i] {
+			e.X[i] = nv
+			e.MarkDirty(i)
+		}
 	}
 	return nil
 }
@@ -363,6 +407,7 @@ func (e *Evaluator) Recompute() {
 	}
 	g := e.g
 	nn := g.NumNodes()
+	e.countFullRecompute()
 
 	e.par(1, nn-1, e.electricalRange)
 	if e.cs.Len() > 0 {
@@ -388,6 +433,27 @@ func (e *Evaluator) Recompute() {
 		})
 	}
 	e.finishSink()
+	e.settleRecompute()
+}
+
+// countFullRecompute charges one full Recompute to the work counters.
+func (e *Evaluator) countFullRecompute() {
+	nn := int64(e.g.NumNodes())
+	e.stats.FullRecomputes++
+	e.stats.ElectricalNodes += nn - 2
+	if e.cs.Len() > 0 {
+		e.stats.CouplingNodes += nn
+	}
+	e.stats.LoadsNodes += nn - 2
+	e.stats.ArrivalNodes += nn - 2
+}
+
+// settleRecompute records that the derived arrays now reflect the current
+// sizes exactly: pending size changes are consumed and incremental passes
+// become valid.
+func (e *Evaluator) settleRecompute() {
+	e.recValid = true
+	e.dirtyRec.reset()
 }
 
 // RecomputeSerial is the single-threaded reference implementation of
@@ -399,6 +465,7 @@ func (e *Evaluator) RecomputeSerial() {
 	g := e.g
 	nn := g.NumNodes()
 	sink := g.SinkID()
+	e.countFullRecompute()
 
 	e.electricalRange(1, nn-1)
 	if e.cs.Len() > 0 {
@@ -422,6 +489,7 @@ func (e *Evaluator) RecomputeSerial() {
 		e.arrivalNode(i)
 	}
 	e.finishSink()
+	e.settleRecompute()
 }
 
 // MaxArrival returns the circuit delay: the largest arrival time among
@@ -432,12 +500,22 @@ func (e *Evaluator) MaxArrival() float64 { return e.A[e.g.SinkID()] }
 // realizing MaxArrival, from a driver to a sink-feeding node. On a graph
 // whose sink has no predecessors (possible via Builder.BuildLoose; no
 // Build-validated circuit produces one) there is no path to realize and the
-// result is nil, matching MaxArrival's defined value of 0 there.
+// result is nil, matching MaxArrival's defined value of 0 there. Allocates
+// a fresh slice per call; repeated queries should reuse a buffer through
+// AppendCriticalPath.
 func (e *Evaluator) CriticalPath() []int {
+	return e.AppendCriticalPath(nil)
+}
+
+// AppendCriticalPath appends the critical path (see CriticalPath) to dst
+// and returns the extended slice — allocation-free once dst has the
+// capacity, so sweep loops can reuse one buffer with
+// dst = ev.AppendCriticalPath(dst[:0]).
+func (e *Evaluator) AppendCriticalPath(dst []int) []int {
 	g := e.g
 	sink := g.SinkID()
 	if len(g.In(sink)) == 0 {
-		return nil
+		return dst
 	}
 	// Start at the sink feeder with max arrival.
 	cur, best := -1, math.Inf(-1)
@@ -447,11 +525,11 @@ func (e *Evaluator) CriticalPath() []int {
 		}
 	}
 	if cur < 0 {
-		return nil
+		return dst
 	}
-	var rev []int
+	start := len(dst)
 	for cur > 0 {
-		rev = append(rev, cur)
+		dst = append(dst, cur)
 		nxt, bestA := -1, math.Inf(-1)
 		for _, j := range g.In(cur) {
 			if int(j) == 0 {
@@ -467,19 +545,28 @@ func (e *Evaluator) CriticalPath() []int {
 		}
 		cur = nxt
 	}
+	rev := dst[start:]
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev
+	return dst
 }
 
 // RequiredTimes computes each node's required arrival time for the bound
 // a0 at the sink, by a reverse pass: req(i) = min over fanouts j of
-// req(j) − D(j), with req = a0 at sink feeders.
+// req(j) − D(j), with req = a0 at sink feeders. Allocates; repeated
+// queries should reuse a buffer through RequiredTimesInto.
 func (e *Evaluator) RequiredTimes(a0 float64) []float64 {
+	req := make([]float64, e.g.NumNodes())
+	e.RequiredTimesInto(a0, req)
+	return req
+}
+
+// RequiredTimesInto is RequiredTimes with a caller-supplied destination of
+// length NumNodes, performing no allocation.
+func (e *Evaluator) RequiredTimesInto(a0 float64, req []float64) {
 	g := e.g
 	nn := g.NumNodes()
-	req := make([]float64, nn)
 	for i := range req {
 		req[i] = math.Inf(1)
 	}
@@ -502,7 +589,6 @@ func (e *Evaluator) RequiredTimes(a0 float64) []float64 {
 			req[i] = r
 		}
 	}
-	return req
 }
 
 // Area returns Σ αᵢxᵢ over all components (µm²).
@@ -572,6 +658,7 @@ func (e *Evaluator) UpstreamResistance(lambda []float64, dst []float64) {
 		return
 	}
 	nn := e.g.NumNodes()
+	e.countFullUpstream()
 	e.par(0, nn, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = 0
@@ -587,11 +674,21 @@ func (e *Evaluator) UpstreamResistance(lambda []float64, dst []float64) {
 	}
 }
 
+// countFullUpstream charges one full upstream pass to the work counters
+// and consumes the pending size changes: dst now reflects the current
+// sizes, so a following incremental call starts from a clean slate.
+func (e *Evaluator) countFullUpstream() {
+	e.stats.FullUpstreams++
+	e.stats.UpstreamNodes += int64(e.g.NumNodes()) - 2
+	e.dirtyUp.reset()
+}
+
 // UpstreamResistanceSerial is the single-threaded reference implementation
 // of UpstreamResistance, kept as the cross-check oracle for the levelized
 // schedule (see RecomputeSerial).
 func (e *Evaluator) UpstreamResistanceSerial(lambda []float64, dst []float64) {
 	nn := e.g.NumNodes()
+	e.countFullUpstream()
 	for i := 0; i < nn; i++ {
 		dst[i] = 0
 	}
@@ -601,7 +698,10 @@ func (e *Evaluator) UpstreamResistanceSerial(lambda []float64, dst []float64) {
 }
 
 // MemoryBytes returns the analytic footprint of the evaluator's arrays for
-// the Figure-10 storage accounting.
+// the Figure-10 storage accounting. The dirty-cone scratch (dirty sets,
+// frontiers, change flags) is deliberately excluded: the analytic
+// footprint must be identical whether a solve runs full or incremental
+// passes, exactly as the solver excludes its per-worker scratch.
 func (e *Evaluator) MemoryBytes() int {
 	n := len(e.X)
 	arrays := 9

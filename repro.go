@@ -35,6 +35,14 @@
 //     reductions are deterministic — maxima are exact under any grouping
 //     and sums fold per-node scratch in index order — so results are
 //     bit-identical for every Workers setting.
+//   - Within one solve the evaluator is also incremental: late LRS sweeps
+//     change only a shrinking fringe of sizes, so the engine re-evaluates
+//     just the forward/backward cones of the nodes that moved and skips
+//     resize updates for components at a bitwise fixed point until a
+//     neighbour's change reactivates them (core.Options.Incremental,
+//     default on). Skipping happens only where recomputation could not
+//     change a single bit, so results remain bit-identical to the full
+//     passes at every Workers width.
 //   - Across solves, Instance.OptimizeBatch (and the internal
 //     bench.RunTable1Parallel / core.SolveBatch drivers) run many circuits
 //     or specs side by side, one solver per core, for Table-1-style
