@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/coupling"
 	"repro/internal/rc"
+	"repro/internal/sweep"
 )
 
 // table1Circuits is the subset run under `go test -bench`; the full ten
@@ -499,26 +500,34 @@ func incrementalScenarios() []incrementalScenario {
 // BenchmarkIncrementalSolve times one complete warm-started OGWS solve
 // per op with the evaluation engine in each mode: "full" pays the whole
 // circuit on every LRS sweep (Options.Incremental = false), "incremental"
-// runs the dirty-cone/active-set engine (the default). The two modes are
-// bit-identical at every step, so ns/op, allocs/op, and the
-// evalNodesPerSweep metric compare exactly the same trajectory. The
-// incremental case also reports workReductionX — full-pass node visits
-// divided by measured visits, derivable analytically because both modes
-// execute identical sweep counts:
+// runs the dirty-cone/active-set engine with the PR-4 cutover hysteresis
+// (the default), and "incremental-nohyst" disables the hysteresis — the
+// PR-3 behaviour, kept so the grid32x24 before/after is one diff in the
+// committed trajectory. All modes are bit-identical at every step, so
+// ns/op, allocs/op, and the evalNodesPerSweep metric compare exactly the
+// same trajectory; hystTripsPerSolve records whether the hysteresis fired
+// (grid32x24: every solve; c880: never). The incremental cases also
+// report workReductionX — full-pass node visits divided by measured
+// visits, derivable analytically because all modes execute identical
+// sweep counts:
 //
 //	fullVisits = (sweeps + trailingFulls)·recomputeBodies + sweeps·upstreamBodies
 //
-// where trailingFulls = FullRecomputes − DegradedRecomputes: the
-// deliberate full passes (one per LRS call plus result restores, which
-// the full mode pays too) but NOT the sweep-top refreshes that degraded
-// past the coneWorthwhile cutover — those stand in for a sweep's
-// recompute, which `sweeps` already charges once.
+// where trailingFulls = FullRecomputes − DegradedRecomputes −
+// revertedSweeps: the deliberate full passes (one per LRS call plus
+// result restores, which the full mode pays too) but NOT the sweep-top
+// refreshes that degraded past the coneWorthwhile cutover, and NOT the
+// sweeps the hysteresis reverted to the full-pass path — both stand in
+// for a sweep's recompute, which `sweeps` already charges once.
 func BenchmarkIncrementalSolve(b *testing.B) {
 	for _, sc := range incrementalScenarios() {
-		for _, mode := range []string{"full", "incremental"} {
+		for _, mode := range []string{"full", "incremental", "incremental-nohyst"} {
 			b.Run(sc.name+"/"+mode, func(b *testing.B) {
 				ev, opt := sc.build(b)
-				opt.Incremental = mode == "incremental"
+				opt.Incremental = mode != "full"
+				if mode == "incremental-nohyst" {
+					opt.CutoverHysteresis = -1
+				}
 				initX := append([]float64(nil), ev.X...)
 				sol, err := core.NewSolver(ev, opt)
 				if err != nil {
@@ -526,6 +535,7 @@ func BenchmarkIncrementalSolve(b *testing.B) {
 				}
 				defer sol.Close()
 				var last *core.Result
+				var reverted int64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
@@ -534,12 +544,14 @@ func BenchmarkIncrementalSolve(b *testing.B) {
 					}
 					ev.Recompute()
 					ev.ResetStats()
+					rev0 := sol.RevertedSweeps()
 					b.StartTimer()
 					res, err := sol.Run()
 					if err != nil {
 						b.Fatal(err)
 					}
 					last = res
+					reverted = sol.RevertedSweeps() - rev0 // last solve only, like the stats
 				}
 				st := ev.Stats()
 				sweeps := st.FullUpstreams + st.IncUpstreams // one upstream pass per sweep
@@ -549,17 +561,61 @@ func BenchmarkIncrementalSolve(b *testing.B) {
 				nn := int64(ev.Graph().NumNodes())
 				b.ReportMetric(float64(last.Iterations), "iters")
 				b.ReportMetric(float64(st.NodeVisits())/float64(sweeps), "evalNodesPerSweep")
-				if mode == "incremental" {
+				if mode != "full" {
 					recBodies := 3 * (nn - 2)
 					if ev.Couplings().Len() > 0 {
 						recBodies += nn
 					}
-					trailingFulls := st.FullRecomputes - st.DegradedRecomputes
+					trailingFulls := st.FullRecomputes - st.DegradedRecomputes - reverted
 					fullVisits := (sweeps+trailingFulls)*recBodies + sweeps*(nn-2)
 					b.ReportMetric(float64(fullVisits)/float64(st.NodeVisits()), "workReductionX")
+					b.ReportMetric(float64(sol.HysteresisTrips())/float64(b.N), "hystTripsPerSolve")
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSweepGrid measures the bounds-grid sweep engine end to end on
+// a prebuilt c432 instance: one op = solving the full 2×4 grid. The
+// "warm" case is the engine's default — each cell seeded from its solved
+// wavefront neighbour through core.Solver.RunFromDual, sizes AND dual
+// state (the multipliers are where the iteration-count savings come
+// from) — and "cold" solves every cell independently from the initial
+// sizes and the A1 multiplier seed. Both run one row at a
+// time on one core (SweepWorkers=1), so cellsPerSec isolates the
+// warm-start win rather than scheduling; lrsSweeps counts the total inner
+// sweeps the grid cost. The warm and cold grids are separately pinned to
+// their full-pass oracles by the sweep test suite.
+func BenchmarkSweepGrid(b *testing.B) {
+	inst := instanceFor(b, "c432")
+	for _, mode := range []string{"warm", "cold"} {
+		b.Run("c432/"+mode, func(b *testing.B) {
+			opt := sweep.Options{
+				DelayScale:    []float64{1, 1.05},
+				NoiseScale:    []float64{0.7, 0.85, 1, 1.2},
+				MaxIterations: 40,
+				SweepWorkers:  1,
+				Cold:          mode == "cold",
+			}
+			var last *sweep.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Run(inst, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			cells := float64(len(last.Cells))
+			b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+			total := 0
+			for i := range last.Cells {
+				total += last.Cells[i].Result.LRSSweepsTotal
+			}
+			b.ReportMetric(float64(total), "lrsSweeps")
+			b.ReportMetric(float64(len(last.Frontier)), "frontierCells")
+		})
 	}
 }
 

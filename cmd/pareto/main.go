@@ -1,0 +1,107 @@
+// Command pareto sweeps a bounds grid over one or more circuits — one
+// bench.Instance per circuit, warm-started grid cells via internal/sweep —
+// and emits the solved grid plus its Pareto frontier over
+// (delay, noise, power) as JSON.
+//
+// Usage:
+//
+//	pareto [-circuits c432,c880] [-delay 0.95,1,1.05] [-noise 0.6,0.8,1,1.3]
+//	       [-maxiter N] [-epsilon 0.01] [-cold] [-full]
+//	       [-sweep-workers 0] [-cell-workers 1] [-out grid.json]
+//
+// The delay axis scales the derived arrival bound A0; the noise axis
+// scales the variable part of the crosstalk bound X_B. Cells solve
+// warm-started from their grid neighbours by default; -cold solves every
+// cell independently from the initial sizes (same results with -s1, more
+// work), and -full throws the incremental escape hatch.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/sweep"
+)
+
+func parseAxis(name, s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	axis := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("bad %s factor %q: %v", name, p, err)
+		}
+		axis = append(axis, v)
+	}
+	return axis
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pareto: ")
+	circuits := flag.String("circuits", "c432", "comma-separated circuit names")
+	delay := flag.String("delay", "1", "comma-separated delay-bound scale factors (rows)")
+	noise := flag.String("noise", "0.6,0.8,1,1.3", "comma-separated noise-bound scale factors (columns)")
+	maxIter := flag.Int("maxiter", 0, "cap on OGWS iterations per cell (0 = solver default)")
+	epsilon := flag.Float64("epsilon", 0, "duality-gap precision (0 = paper's 1%)")
+	cold := flag.Bool("cold", false, "solve every cell independently instead of warm-starting from neighbours")
+	s1 := flag.Bool("s1", false, "paper-faithful S1 size reset inside LRS and dual restart per cell (results independent of warm-start seeding)")
+	full := flag.Bool("full", false, "full evaluation passes every sweep (incremental escape hatch)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "rows solved concurrently (0 = all cores)")
+	cellWorkers := flag.Int("cell-workers", 1, "solver width per cell (0 = 1)")
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	opt := sweep.Options{
+		DelayScale:    parseAxis("delay", *delay),
+		NoiseScale:    parseAxis("noise", *noise),
+		MaxIterations: *maxIter,
+		Epsilon:       *epsilon,
+		Workers:       *cellWorkers,
+		SweepWorkers:  *sweepWorkers,
+		Cold:          *cold,
+		ColdLRS:       *s1,
+		PrimalOnly:    *s1, // S1 mode exists to make results seed-independent
+		FullPasses:    *full,
+	}
+	var results []*sweep.Result
+	for _, name := range strings.Split(*circuits, ",") {
+		spec, ok := bench.SpecByName(strings.TrimSpace(name))
+		if !ok {
+			log.Fatalf("unknown circuit %q", name)
+		}
+		res, err := sweep.RunSpec(spec, bench.PipelineOptions{}, opt)
+		if err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
+		cells := 0.0
+		for i := range res.Cells {
+			cells += res.Cells[i].SolveSec
+		}
+		fmt.Fprintf(os.Stderr, "%s done: %d cells, %d on the frontier, %.2fs solve time\n",
+			res.Circuit, len(res.Cells), len(res.Frontier), cells)
+		results = append(results, res)
+	}
+
+	data, err := json.MarshalIndent(results, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -280,6 +280,49 @@ func TestImprovementsEmpty(t *testing.T) {
 	}
 }
 
+// TestImprovementsSkipsZeroDenominators: a zero (or NaN) initial value —
+// e.g. zero initial noise on an uncoupled circuit — must drop that row
+// from that metric's average only, instead of poisoning every summary
+// with NaN/Inf. Each metric keeps its own row count.
+func TestImprovementsSkipsZeroDenominators(t *testing.T) {
+	rows := []*Table1Row{
+		{InitNoisePF: 2, FinNoisePF: 1, InitDelayPs: 100, FinDelayPs: 90,
+			InitPowerMW: 4, FinPowerMW: 2, InitAreaUM2: 10, FinAreaUM2: 5},
+		// Uncoupled circuit: zero initial noise; also a degenerate
+		// zero-area row and a NaN initial power.
+		{InitNoisePF: 0, FinNoisePF: 0, InitDelayPs: 200, FinDelayPs: 100,
+			InitPowerMW: math.NaN(), FinPowerMW: 1, InitAreaUM2: 0, FinAreaUM2: 0},
+		// Non-finite FINAL values and an Inf initial: each must drop its
+		// row from its own metric only, like the bad denominators.
+		{InitNoisePF: 4, FinNoisePF: math.NaN(), InitDelayPs: math.Inf(1), FinDelayPs: 100,
+			InitPowerMW: 2, FinPowerMW: math.Inf(1), InitAreaUM2: 8, FinAreaUM2: 4},
+	}
+	noise, delay, power, area := Improvements(rows)
+	for name, v := range map[string]float64{"noise": noise, "delay": delay, "power": power, "area": area} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s improvement is %g — zero/NaN denominator leaked into the average", name, v)
+		}
+	}
+	if noise != 50 {
+		t.Errorf("noise improvement %g%%, want 50 (zero-noise row skipped)", noise)
+	}
+	if delay != 30 {
+		t.Errorf("delay improvement %g%%, want 30 (both rows defined)", delay)
+	}
+	if power != 50 {
+		t.Errorf("power improvement %g%%, want 50 (NaN-power row skipped)", power)
+	}
+	if area != 50 {
+		t.Errorf("area improvement %g%%, want 50 (zero-area row skipped)", area)
+	}
+	// All-zero denominators: the metric reports 0, not NaN.
+	zeroRows := []*Table1Row{{InitDelayPs: 10, FinDelayPs: 8}}
+	n2, _, _, _ := Improvements(zeroRows)
+	if n2 != 0 {
+		t.Errorf("noise improvement over zero-noise rows = %g, want 0", n2)
+	}
+}
+
 func TestDeriveBoundsFeasibleOrdering(t *testing.T) {
 	spec, _ := SpecByName("c432")
 	inst, err := BuildInstance(spec, PipelineOptions{})

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -120,19 +121,36 @@ func RunTable1(specs []Spec, opt RunOptions) ([]*Table1Row, error) {
 
 // Improvements returns the average percentage improvements
 // (Init−Fin)/Init·100 across rows for noise, delay, power, and area — the
-// paper's "Impr(%)" summary line (89.67%, 5.3%, 86.82%, 87.90%).
+// paper's "Impr(%)" summary line (89.67%, 5.3%, 86.82%, 87.90%). Each
+// metric averages only over the rows where it is defined: a zero or
+// non-finite initial value — an uncoupled circuit has zero initial
+// noise — has no relative improvement, and a non-finite final value has
+// no defined one either; folding any of them in would poison the whole
+// summary with NaN/Inf. A metric with no defined rows reports 0.
 func Improvements(rows []*Table1Row) (noise, delay, power, area float64) {
-	if len(rows) == 0 {
-		return
+	var sums [4]float64
+	var counts [4]int
+	add := func(m int, init, fin float64) {
+		if init == 0 || math.IsNaN(init) || math.IsInf(init, 0) ||
+			math.IsNaN(fin) || math.IsInf(fin, 0) {
+			return
+		}
+		sums[m] += (init - fin) / init
+		counts[m]++
 	}
 	for _, r := range rows {
-		noise += (r.InitNoisePF - r.FinNoisePF) / r.InitNoisePF
-		delay += (r.InitDelayPs - r.FinDelayPs) / r.InitDelayPs
-		power += (r.InitPowerMW - r.FinPowerMW) / r.InitPowerMW
-		area += (r.InitAreaUM2 - r.FinAreaUM2) / r.InitAreaUM2
+		add(0, r.InitNoisePF, r.FinNoisePF)
+		add(1, r.InitDelayPs, r.FinDelayPs)
+		add(2, r.InitPowerMW, r.FinPowerMW)
+		add(3, r.InitAreaUM2, r.FinAreaUM2)
 	}
-	n := float64(len(rows))
-	return 100 * noise / n, 100 * delay / n, 100 * power / n, 100 * area / n
+	avg := func(m int) float64 {
+		if counts[m] == 0 {
+			return 0
+		}
+		return 100 * sums[m] / float64(counts[m])
+	}
+	return avg(0), avg(1), avg(2), avg(3)
 }
 
 // Figure10Point is one sample of Figure 10: memory (a) and runtime per

@@ -118,6 +118,21 @@ type Options struct {
 	// prune harder and trade last-bits accuracy for speed (the final
 	// metrics are still evaluated by a full pass on the actual sizes).
 	ActiveSetTol float64
+	// CutoverHysteresis is K, the number of consecutive LRS sweeps whose
+	// incremental refresh degraded past the coneWorthwhile cutover after
+	// which one Run stops paying dirty-set bookkeeping altogether and
+	// reverts to the full-pass path for the remainder of the solve
+	// (equivalent to Incremental = false from that sweep on). On densely
+	// coupled circuits nearly every sweep blows past the cutover, so the
+	// bookkeeping buys nothing and previously cost ~10% wall-clock; a
+	// cutover streak is the cheap, reliable signal of that regime, and
+	// since a degraded sweep runs the (bit-identical) full passes anyway,
+	// the revert is purely a scheduling decision — results do not change by
+	// a single bit. The streak resets whenever a refresh walks a cone, and
+	// the pre-first-pass fallback never counts. 0 selects
+	// DefaultCutoverHysteresis; negative disables the hysteresis (the
+	// pre-PR-4 behaviour).
+	CutoverHysteresis int
 	// AutoScale multiplies the multiplier seeds and subgradient steps by
 	// the problem's natural dual magnitudes: S/A0 for the timing weights
 	// and S/P′, S/X′ for β, γ, where S = Σαᵢ√(LᵢUᵢ) is the geometric
@@ -130,6 +145,16 @@ type Options struct {
 	// KeepHistory records per-iteration statistics in the result.
 	KeepHistory bool
 }
+
+// DefaultCutoverHysteresis is the default Options.CutoverHysteresis,
+// placed by measurement between the two recorded regimes: the warm-started
+// c880 solve — the engine's best case — peaks at 22 consecutive cutovers
+// during its early global-movement iterations before cone walks take over,
+// while the dense-coupling grid32x24 solve (the PR-3 regression) streaks
+// past 30 within its first iterations and keeps degrading throughout. 24
+// leaves the healthy workload untouched and stops the pathological one
+// early; both committed benchmarks pin their hystTripsPerSolve metric.
+const DefaultCutoverHysteresis = 24
 
 // DefaultOptions returns the settings used throughout the experiments:
 // 1% duality gap as in the paper, ρₖ = 2/√k, relative violations, warm
@@ -156,11 +181,18 @@ func DefaultOptions(a0, noiseBound, powerCapBound float64) Options {
 	}
 }
 
+// validate rejects the knobs that have no sane substitute (a missing or
+// non-finite delay bound, negative or NaN multiplier seeds) and normalizes
+// the rest: every tolerance, damping factor, and count falls back to its
+// DefaultOptions value when zero, negative, or NaN. NaN needs explicit
+// checks throughout — it slides through every `<= 0` comparison, and a NaN
+// tolerance silently disables loop exits (`maxRel < NaN` is always false)
+// while a NaN step or damping poisons every size downstream.
 func (o *Options) validate() error {
-	if o.A0 <= 0 {
+	if o.A0 <= 0 || math.IsNaN(o.A0) {
 		return fmt.Errorf("core: delay bound A0 must be positive, got %g", o.A0)
 	}
-	if o.Epsilon <= 0 {
+	if o.Epsilon <= 0 || math.IsNaN(o.Epsilon) {
 		o.Epsilon = 0.01
 	}
 	if o.MaxIterations <= 0 {
@@ -172,20 +204,28 @@ func (o *Options) validate() error {
 	if o.LRSMaxSweeps <= 0 {
 		o.LRSMaxSweeps = 200
 	}
-	if o.LRSTol <= 0 {
+	if o.LRSTol <= 0 || math.IsNaN(o.LRSTol) {
 		o.LRSTol = 1e-7
 	}
-	if o.LRSDamping <= 0 || o.LRSDamping > 1 {
+	if o.LRSDamping <= 0 || o.LRSDamping > 1 || math.IsNaN(o.LRSDamping) {
 		o.LRSDamping = 0.7
 	}
 	if o.ActiveSetTol < 0 || math.IsNaN(o.ActiveSetTol) {
 		o.ActiveSetTol = 0
 	}
-	if o.PolyakTheta <= 0 || o.PolyakTheta >= 2 {
+	if o.CutoverHysteresis == 0 {
+		o.CutoverHysteresis = DefaultCutoverHysteresis
+	}
+	if o.PolyakTheta <= 0 || o.PolyakTheta >= 2 || math.IsNaN(o.PolyakTheta) {
 		o.PolyakTheta = 1
 	}
-	if o.InitMultiplier < 0 || o.InitBeta < 0 || o.InitGamma < 0 {
-		return fmt.Errorf("core: initial multipliers must be non-negative")
+	if o.Workers < 0 {
+		o.Workers = 0 // same meaning: pick runtime.GOMAXPROCS(0)
+	}
+	if o.InitMultiplier < 0 || o.InitBeta < 0 || o.InitGamma < 0 ||
+		math.IsNaN(o.InitMultiplier) || math.IsNaN(o.InitBeta) || math.IsNaN(o.InitGamma) {
+		return fmt.Errorf("core: initial multipliers must be non-negative, got λ=%g β=%g γ=%g",
+			o.InitMultiplier, o.InitBeta, o.InitGamma)
 	}
 	return nil
 }
@@ -277,6 +317,22 @@ type Solver struct {
 	movedEval [][]int32
 	movedAct  [][]int32
 
+	// Cutover-hysteresis state. degradeStreak counts consecutive LRS
+	// sweeps whose incremental refresh degraded past the coneWorthwhile
+	// cutover; incReverted flips once the streak reaches
+	// Options.CutoverHysteresis and routes every remaining sweep of the
+	// current Run through the full-pass path. Both reset at the top of Run.
+	// hystTrips / revertedSweeps accumulate across Runs for the benchmark
+	// work accounting (see Solver.HysteresisTrips / RevertedSweeps).
+	degradeStreak  int
+	incReverted    bool
+	hystTrips      int64
+	revertedSweeps int64
+
+	// pendingDual holds a RunFromDual seed for the next Run; consumed (and
+	// cleared) at A1.
+	pendingDual *DualState
+
 	// Per-net crosstalk extension state (nil when unused).
 	vBound []float64 // X′_v per node; NaN where unconstrained
 	gammaV []float64 // γᵥ per node
@@ -347,7 +403,9 @@ func NewSolver(ev *rc.Evaluator, opt Options) (*Solver, error) {
 			if len(ev.Couplings().Neighbors(v)) == 0 {
 				return nil, fmt.Errorf("core: per-net bound on wire %d, which has no coupling pairs", v)
 			}
-			if xb <= 0 {
+			if xb <= 0 || math.IsNaN(xb) {
+				// NaN would both pass a plain <= 0 check and poison the γᵥ
+				// violation terms; reject it with the other bad bounds.
 				return nil, fmt.Errorf("core: per-net bound on wire %d must be positive, got %g", v, xb)
 			}
 			s.vBound[v] = xb
@@ -418,14 +476,28 @@ func (s *Solver) Close() {
 // recomputed (always by a final full pass, so the values the dual and the
 // reported metrics read never ride on incremental bookkeeping). With
 // Options.Incremental the sweeps run the dirty-cone/active-set engine
-// (lrsActiveSet); otherwise every sweep runs the paper's full passes.
-// At ActiveSetTol = 0 the two paths are bit-identical.
+// (lrsActiveSet); otherwise — or after the cutover hysteresis tripped for
+// this Run — every sweep runs the paper's full passes. At ActiveSetTol = 0
+// the two paths are bit-identical, so the hysteresis revert never changes
+// a result.
 func (s *Solver) LRS() int {
-	if s.opt.Incremental {
+	if s.opt.Incremental && !s.incReverted {
 		return s.lrsActiveSet()
 	}
 	return s.lrsFull()
 }
+
+// HysteresisTrips returns how many Runs the cutover hysteresis has tripped
+// in so far: solves where Options.CutoverHysteresis consecutive sweeps
+// degraded past the coneWorthwhile cutover and the remainder ran the
+// full-pass path.
+func (s *Solver) HysteresisTrips() int64 { return s.hystTrips }
+
+// RevertedSweeps returns the total number of LRS sweeps executed on the
+// full-pass path because the hysteresis had tripped (Incremental solves
+// only). The work-accounting benchmarks subtract these from the full-pass
+// counters to reconstruct the deliberate trailing passes.
+func (s *Solver) RevertedSweeps() int64 { return s.revertedSweeps }
 
 // lrsPrelude computes the effective scalar multipliers for a sweep
 // sequence and refreshes the per-net crosstalk denominators, which stay
@@ -462,10 +534,16 @@ func (s *Solver) lrsPrelude() (beta, gamma float64) {
 
 // lrsFull is the paper-faithful LRS loop: every sweep pays a full
 // Recompute and a full UpstreamResistance (the Incremental=false escape
-// hatch, and the oracle the active-set path is pinned to).
+// hatch, the post-hysteresis schedule, and the oracle the active-set path
+// is pinned to).
 func (s *Solver) lrsFull() int {
 	ev := s.ev
 	g := ev.Graph()
+	// With Incremental requested, this loop only ever runs because the
+	// cutover hysteresis reverted the solve: charge its sweeps to the
+	// reverted counter so work accounting can reconstruct the deliberate
+	// trailing passes.
+	reverted := s.opt.Incremental && s.incReverted
 	if !s.opt.WarmStart {
 		// S1: start from the lower bounds.
 		for i := 1; i < g.NumNodes()-1; i++ {
@@ -478,28 +556,37 @@ func (s *Solver) lrsFull() int {
 	sweeps := 0
 	for sweeps < s.opt.LRSMaxSweeps {
 		sweeps++
+		if reverted {
+			s.revertedSweeps++
+		}
 		// S2: downstream capacitances; S3: upstream resistances.
 		ev.Recompute()
 		ev.UpstreamResistance(s.lambda, s.rup)
-		// S4: closed-form optimal resize of every component. The sweep is
-		// Jacobi: each node reads only state frozen by S2/S3 and its own
-		// size, so the shards are independent and the max-reduction exact.
-		shards := s.pool.run(1, g.NumNodes()-1, func(shard, lo, hi int) {
-			s.shardMax[shard] = s.resizeRange(beta, gamma, lo, hi)
-		})
-		maxRel := 0.0
-		for sh := 0; sh < shards; sh++ {
-			if s.shardMax[sh] > maxRel {
-				maxRel = s.shardMax[sh]
-			}
-		}
-		// S5: repeat until no improvement.
-		if maxRel < s.opt.LRSTol {
+		// S4/S5: resize every component, repeat until no improvement.
+		if s.resizeFull(beta, gamma) < s.opt.LRSTol {
 			break
 		}
 	}
 	ev.Recompute()
 	return sweeps
+}
+
+// resizeFull runs one Jacobi resize sweep (S4) over every component,
+// sharded on the pool, and returns the largest relative size change. The
+// sweep reads only state frozen by S2/S3 plus each node's own size, so the
+// shards are independent and the max-reduction exact.
+func (s *Solver) resizeFull(beta, gamma float64) float64 {
+	g := s.ev.Graph()
+	shards := s.pool.run(1, g.NumNodes()-1, func(shard, lo, hi int) {
+		s.shardMax[shard] = s.resizeRange(beta, gamma, lo, hi)
+	})
+	maxRel := 0.0
+	for sh := 0; sh < shards; sh++ {
+		if s.shardMax[sh] > maxRel {
+			maxRel = s.shardMax[sh]
+		}
+	}
+	return maxRel
 }
 
 // lrsActiveSet is the incremental LRS loop. Sweep 1 is full — the
@@ -531,8 +618,35 @@ func (s *Solver) lrsActiveSet() int {
 	sweeps := 0
 	for sweeps < s.opt.LRSMaxSweeps {
 		sweeps++
+		if s.incReverted {
+			// The cutover hysteresis tripped mid-call: finish this LRS on
+			// the full-pass schedule. A degraded active-set sweep already
+			// runs the identical full refreshes and resizes every sizable
+			// node, so dropping the bookkeeping changes scheduling only —
+			// never a bit.
+			s.revertedSweeps++
+			ev.Recompute()
+			ev.UpstreamResistance(s.lambda, s.rup)
+			if s.resizeFull(beta, gamma) < s.opt.LRSTol {
+				break
+			}
+			continue
+		}
 		// S2/S3: refresh exactly what the recorded moves can reach.
+		cut0 := ev.Stats().CutoverRecomputes
 		chgLoads, coneLoads := ev.RecomputeIncremental()
+		if ev.Stats().CutoverRecomputes != cut0 {
+			// A cutover hit (the pre-first-pass fallback is excluded by the
+			// counter split): extend the streak and give up on bookkeeping
+			// for the rest of this Run once it reaches K.
+			s.degradeStreak++
+			if s.degradeStreak >= s.opt.CutoverHysteresis && s.opt.CutoverHysteresis > 0 {
+				s.incReverted = true
+				s.hystTrips++
+			}
+		} else if coneLoads {
+			s.degradeStreak = 0
+		}
 		if sweeps == 1 {
 			ev.UpstreamResistance(s.lambda, s.rup)
 			s.active = append(s.active[:0], s.sizable...)
@@ -819,22 +933,127 @@ func (s *Solver) perNetPass(rho float64, step bool) (maxRel, normSq float64) {
 	return maxRel, normSq
 }
 
+// RunFrom seeds the evaluator with the sizes x — through rc.SetSizes, so
+// the incremental engine's dirty tracking sees exactly the entries that
+// differ from the current state — and then executes Run. x must have one
+// entry per circuit node (non-sizable entries are ignored); out-of-bound
+// sizes clamp, non-finite ones are rejected before anything changes.
+//
+// This is the warm-start entry for sweep workloads: with
+// Options.WarmStart the LRS sweeps start from the seed, so solving from a
+// near-solution (a neighbouring bounds-grid cell, an ECO) becomes an
+// incremental perturbation the dirty-cone engine refreshes instead of a
+// cold solve. Without WarmStart the paper's S1 reset makes Run's
+// trajectory independent of the evaluator's sizes, and RunFrom is
+// bit-identical to Run from any seed.
+func (s *Solver) RunFrom(x []float64) (*Result, error) {
+	if err := s.ev.SetSizes(x); err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// DualState is a snapshot of the multiplier state a Run ended with: the
+// per-edge timing multipliers, β, γ, and any per-net γᵥ. It is the dual
+// half of a warm start — opaque, immutable, and independent of the solver
+// that produced it, so a sweep can hand one cell's final ascent point to
+// its neighbour (see RunFromDual).
+type DualState struct {
+	edge        [][]float64
+	beta, gamma float64
+	gammaV      []float64
+}
+
+// DualState snapshots the solver's current multipliers, or nil before the
+// first Run.
+func (s *Solver) DualState() *DualState {
+	if s.mult == nil {
+		return nil
+	}
+	d := &DualState{beta: s.mult.Beta, gamma: s.mult.Gamma}
+	d.edge = make([][]float64, len(s.mult.Edge))
+	for i, e := range s.mult.Edge {
+		d.edge[i] = append([]float64(nil), e...)
+	}
+	if s.gammaV != nil {
+		d.gammaV = append([]float64(nil), s.gammaV...)
+	}
+	return d
+}
+
+// RunFromDual is RunFrom with the dual half of the warm start: the
+// multipliers begin at the snapshot instead of the A1 uniform seed, so a
+// solve whose bounds sit near the snapshot's starts its ascent beside the
+// dual optimum and can certify convergence in a handful of iterations —
+// the OGWS trajectory is driven by the multipliers, and sizes alone
+// cannot shortcut it. A nil dual degrades to RunFrom. The snapshot must
+// come from a solver over the same circuit graph.
+func (s *Solver) RunFromDual(x []float64, dual *DualState) (*Result, error) {
+	if dual != nil {
+		if err := s.checkDual(dual); err != nil {
+			return nil, err
+		}
+		s.pendingDual = dual
+	}
+	res, err := s.RunFrom(x)
+	s.pendingDual = nil
+	return res, err
+}
+
+func (s *Solver) checkDual(d *DualState) error {
+	g := s.ev.Graph()
+	if len(d.edge) != g.NumNodes() {
+		return fmt.Errorf("core: dual state has %d nodes, want %d", len(d.edge), g.NumNodes())
+	}
+	for i, e := range d.edge {
+		if len(e) != len(g.In(i)) {
+			return fmt.Errorf("core: dual state node %d has %d edge multipliers, want %d", i, len(e), len(g.In(i)))
+		}
+	}
+	return nil
+}
+
 // Run executes Algorithm OGWS until the duality gap is below Epsilon or
 // MaxIterations is reached.
 func (s *Solver) Run() (*Result, error) {
 	ev := s.ev
 	g := ev.Graph()
 
-	// A1: initial multipliers in the optimality condition (project the
-	// uniform seed onto the flow-conservation cone).
-	s.mult = lagrange.New(g, s.opt.InitMultiplier*s.lamScale)
-	s.mult.ProjectFlow()
-	s.mult.Beta = s.opt.InitBeta * s.betaScale
-	s.mult.Gamma = s.opt.InitGamma * s.gammaScale
-	// The per-net γᵥ are multiplier state too: re-seed them so repeated
-	// Run calls on one solver replay the exact same trajectory.
-	for v := range s.gammaV {
-		s.gammaV[v] = 0
+	// Each Run decides afresh whether the incremental bookkeeping pays:
+	// the cutover streak and the revert are per-solve state.
+	s.degradeStreak, s.incReverted = 0, false
+
+	if d := s.pendingDual; d != nil {
+		// Warm dual start (RunFromDual): begin the ascent at the snapshot.
+		// The snapshot was projected onto the flow-conservation cone by the
+		// Run that produced it, so A1's projection is already satisfied.
+		if s.mult == nil {
+			s.mult = lagrange.New(g, 0)
+		}
+		for i := range s.mult.Edge {
+			copy(s.mult.Edge[i], d.edge[i])
+		}
+		s.mult.Beta, s.mult.Gamma = d.beta, d.gamma
+		for v := range s.gammaV {
+			if d.gammaV != nil && v < len(d.gammaV) {
+				s.gammaV[v] = d.gammaV[v]
+			} else {
+				s.gammaV[v] = 0
+			}
+		}
+		s.pendingDual = nil // one-shot: a plain re-Run replays A1 as always
+	} else {
+		// A1: initial multipliers in the optimality condition (project the
+		// uniform seed onto the flow-conservation cone).
+		s.mult = lagrange.New(g, s.opt.InitMultiplier*s.lamScale)
+		s.mult.ProjectFlow()
+		s.mult.Beta = s.opt.InitBeta * s.betaScale
+		s.mult.Gamma = s.opt.InitGamma * s.gammaScale
+		// The per-net γᵥ are multiplier state too: re-seed them so repeated
+		// Run calls on one solver replay the exact same trajectory.
+		for v := range s.gammaV {
+			s.gammaV[v] = 0
+		}
 	}
 	if s.opt.KeepHistory {
 		s.history = s.history[:0]

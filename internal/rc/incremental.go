@@ -47,6 +47,14 @@ type EvalStats struct {
 	// FullUpstreams too; the split lets work accounting tell a sweep-top
 	// degrade apart from a deliberate trailing full pass.
 	DegradedRecomputes, DegradedUpstreams int64
+	// CutoverRecomputes / CutoverUpstreams count the subset of the degraded
+	// calls caused by the coneWorthwhile cutover — the dirty set was too
+	// large for cone walking to pay — as opposed to the pre-first-pass
+	// fallback. The solver's cutover hysteresis watches exactly this
+	// counter: a streak of cutover hits means the circuit (dense coupling,
+	// global movement) defeats the bookkeeping, while a pre-first-pass
+	// degrade says nothing about it.
+	CutoverRecomputes, CutoverUpstreams int64
 	// Per-node body executions by pass.
 	ElectricalNodes int64
 	CouplingNodes   int64
@@ -282,6 +290,9 @@ func (e *Evaluator) coneWorthwhile(dirty int) bool {
 // (nil, false): every value may have changed.
 func (e *Evaluator) RecomputeIncremental() (changed []int32, cone bool) {
 	if !e.recValid || !e.coneWorthwhile(len(e.dirtyRec.list)) {
+		if e.recValid {
+			e.stats.CutoverRecomputes++
+		}
 		e.stats.DegradedRecomputes++
 		e.Recompute()
 		return nil, false
@@ -409,6 +420,9 @@ func (e *Evaluator) RecomputeIncremental() (changed []int32, cone bool) {
 // evaluation, or past the coneWorthwhile cutover — and changed is nil.
 func (e *Evaluator) UpstreamResistanceIncremental(lambda, dst []float64) (changed []int32, cone bool) {
 	if !e.recValid || !e.coneWorthwhile(len(e.dirtyUp.list)) {
+		if e.recValid {
+			e.stats.CutoverUpstreams++
+		}
 		e.stats.DegradedUpstreams++
 		e.UpstreamResistance(lambda, dst)
 		return nil, false

@@ -420,3 +420,60 @@ func TestQueryPathScratchVariants(t *testing.T) {
 		t.Errorf("RequiredTimesInto allocates %.0f objects per call", allocs)
 	}
 }
+
+// TestDegradeCounterSplit pins the accounting the solver's cutover
+// hysteresis relies on: a pre-first-pass fallback counts only as a
+// degraded call, while a degrade caused by the coneWorthwhile cutover is
+// additionally charged to the Cutover* counters.
+func TestDegradeCounterSplit(t *testing.T) {
+	g, cs, _ := coupledChainPair(t)
+	ev, err := NewEvaluator(g, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.SetAllSizes(1.2)
+	// Fresh evaluator: no valid derived state yet, so the degrade is the
+	// pre-first-pass fallback, not a cutover hit.
+	ev.RecomputeIncremental()
+	if st := ev.Stats(); st.DegradedRecomputes != 1 || st.CutoverRecomputes != 0 {
+		t.Fatalf("pre-first-pass fallback miscounted: %+v", st)
+	}
+	lambda := testLambda(g)
+	rup := make([]float64, g.NumNodes())
+	ev.UpstreamResistance(lambda, rup)
+	// Dirty every sizable node: far past the 1/8 cutover.
+	ev.SetAllSizes(2.5)
+	ev.RecomputeIncremental()
+	if st := ev.Stats(); st.DegradedRecomputes != 2 || st.CutoverRecomputes != 1 {
+		t.Fatalf("cutover degrade miscounted: %+v", st)
+	}
+	ev.SetAllSizes(3.1)
+	ev.UpstreamResistanceIncremental(lambda, rup)
+	if st := ev.Stats(); st.DegradedUpstreams != 1 || st.CutoverUpstreams != 1 {
+		t.Fatalf("cutover upstream degrade miscounted: %+v", st)
+	}
+	// A small dirty set walks cones and must leave the degrade counters
+	// alone.
+	ev.Recompute()
+	ev.UpstreamResistance(lambda, rup)
+	sizable := -1
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Comp(i).Kind.Sizable() {
+			sizable = i
+			break
+		}
+	}
+	if _, err := ev.SetSize(sizable, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	ev.RecomputeIncremental()
+	ev.UpstreamResistanceIncremental(lambda, rup)
+	st := ev.Stats()
+	if st.DegradedRecomputes != 2 || st.CutoverRecomputes != 1 ||
+		st.DegradedUpstreams != 1 || st.CutoverUpstreams != 1 {
+		t.Fatalf("cone walk touched the degrade counters: %+v", st)
+	}
+	if st.IncRecomputes == 0 || st.IncUpstreams == 0 {
+		t.Fatalf("cone walk not counted as incremental: %+v", st)
+	}
+}

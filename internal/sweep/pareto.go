@@ -1,0 +1,58 @@
+// Pareto-frontier extraction over the sweep's (delay, noise, power)
+// trade-off space — the payoff of the grid: the cells no rational
+// operating point would skip.
+package sweep
+
+// point is a cell's trade-off coordinate; every component is minimized.
+type point [3]float64
+
+func cellPoint(c *Cell) point {
+	return point{c.Result.DelayPs, c.Result.NoiseLinFF, c.Result.PowerCapFF}
+}
+
+// dominates reports whether a is at least as good as b in every component
+// and strictly better in at least one. Any NaN comparison is false, so a
+// NaN coordinate can neither dominate nor be dominated — degenerate cells
+// surface on the frontier instead of silently vanishing.
+func dominates(a, b point) bool {
+	better := false
+	for k := 0; k < 3; k++ {
+		if a[k] > b[k] {
+			return false
+		}
+		if a[k] < b[k] {
+			better = true
+		}
+	}
+	return better
+}
+
+// Frontier returns the indices (ascending) of the Pareto-minimal cells:
+// every cell not dominated by any other cell in (delay, noise, power).
+// Duplicate coordinates are all kept — equal points do not dominate each
+// other. Cells without a Result (an aborted sweep) are excluded.
+func Frontier(cells []Cell) []int {
+	pts := make([]point, len(cells))
+	for i := range cells {
+		if cells[i].Result != nil {
+			pts[i] = cellPoint(&cells[i])
+		}
+	}
+	var front []int
+	for i := range cells {
+		if cells[i].Result == nil {
+			continue
+		}
+		dominated := false
+		for j := range cells {
+			if j != i && cells[j].Result != nil && dominates(pts[j], pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}

@@ -1,0 +1,315 @@
+// Package sweep is the bounds-grid sweep engine: one shared
+// bench.Instance solved across a grid of delay/noise bounds, producing
+// the paper's family of noise/delay/power trade-off points (Table 1,
+// Figure 10) as a single workload.
+//
+// The engine amortizes the expensive front end — netlist generation,
+// logic simulation, elaboration, wire ordering, coupling extraction —
+// across every cell: the instance is built once and each cell solves on a
+// lightweight evaluator replica over the shared graph and coupling set.
+// Cells are warm-started on both halves of the problem: each one seeds
+// the solver with the final sizes of its nearest already-solved neighbour
+// through core.Solver.RunFromDual (rc.SetSizes under the hood), so the
+// PR-3 dirty-cone/active-set engine sees a neighbouring bounds cell as an
+// ECO-sized perturbation of a near-solution instead of a cold solve — and,
+// unless PrimalOnly, with the neighbour's final Lagrange multipliers, so
+// the subgradient ascent starts beside the dual optimum and certifies
+// convergence in a fraction of the cold iteration count.
+//
+// The warm-start sources form a static wavefront — cell (i,0) seeds from
+// (i−1,0) and cell (i,j) from (i,j−1) — so the seeding chain of every
+// cell is fixed in advance: results never depend on completion order or
+// on how many rows solve concurrently, and the whole grid is
+// bit-reproducible at every SweepWorkers and per-cell Workers width (the
+// golden sweep fixture enforces this). Column 0 solves first as a
+// sequential spine; the rows then fan out onto the PR-1 worker pool via
+// internal/fanout.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fanout"
+	"repro/internal/rc"
+)
+
+// Options configures one bounds-grid sweep. The zero value sweeps the
+// single self-calibrated cell at the instance's derived bounds.
+type Options struct {
+	// DelayScale and NoiseScale are the grid axes. Cell (i, j) solves with
+	// A0 = DelayScale[i]·base.A0 and with the variable part of the noise
+	// bound (X_B minus the constant coupling offset, the part sizing can
+	// actually trade) scaled by NoiseScale[j]. Factors must be positive
+	// and finite; an empty axis defaults to {1}.
+	DelayScale, NoiseScale []float64
+	// Bounds overrides the base bounds (default bench.DeriveBounds on the
+	// instance).
+	Bounds *bench.Bounds
+	// MaxIterations caps the OGWS outer loop per cell (0 = solver
+	// default); Epsilon is the duality-gap / feasibility precision
+	// (0 = the paper's 1%).
+	MaxIterations int
+	Epsilon       float64
+	// Workers is the per-cell solver width (0 = 1, as in core.SolveBatch:
+	// the sweep level owns the cores by default). SweepWorkers bounds how
+	// many rows solve concurrently (0 = all cores).
+	Workers      int
+	SweepWorkers int
+	// Cold disables warm-starting: every cell seeds from the instance's
+	// initial sizes and solves independently (flat fan-out over all
+	// cells). The cold grid is the benchmark baseline the warm engine is
+	// measured against.
+	Cold bool
+	// PrimalOnly restricts warm seeding to the sizes: the dual state (the
+	// Lagrange multipliers) restarts from the solver's A1 seed in every
+	// cell. The default seeds both halves — the neighbour's final
+	// multipliers start each cell's ascent beside the dual optimum, which
+	// is where the sweep's iteration-count savings come from (sizes alone
+	// cannot shortcut the ascent).
+	PrimalOnly bool
+	// ColdLRS selects the paper-faithful S1 reset inside LRS
+	// (core.Options.WarmStart = false). The default keeps sizes across
+	// sweeps — the regime where warm seeding and the incremental engine
+	// pay off. With ColdLRS (and PrimalOnly) the OGWS trajectory is
+	// independent of the seed, so warm and cold sweeps are bit-identical
+	// (the warm-vs-cold oracle test pins exactly this).
+	ColdLRS bool
+	// FullPasses throws the PR-3 escape hatch (core.Options.Incremental =
+	// false): every LRS sweep pays the full passes. The warm sweep with
+	// and without it is bit-identical at ActiveSetTol = 0.
+	FullPasses bool
+	// ActiveSetTol and CutoverHysteresis pass through to core.Options.
+	ActiveSetTol      float64
+	CutoverHysteresis int
+}
+
+// Cell is one solved grid point.
+type Cell struct {
+	// Row/Col index the cell in the grid; DelayScale/NoiseScale are its
+	// axis factors and Bounds the actual solver bounds they produced.
+	Row, Col               int
+	DelayScale, NoiseScale float64
+	Bounds                 bench.Bounds
+	// SeedRow/SeedCol identify the already-solved neighbour whose sizes
+	// seeded this cell; both are −1 when the cell was seeded from the
+	// instance's initial sizes (cold sweeps and the grid origin).
+	SeedRow, SeedCol int
+	// Result is the full solver outcome at this cell's bounds.
+	Result *core.Result
+	// SolveSec is the wall-clock of this cell's solve (excluded from the
+	// golden fixtures — timing is not deterministic).
+	SolveSec float64
+}
+
+// Result is one circuit's solved grid.
+type Result struct {
+	Circuit                string
+	Rows, Cols             int
+	DelayScale, NoiseScale []float64
+	// Cells is row-major: Cells[i*Cols+j] is grid point (i, j), an
+	// ordering independent of solve scheduling.
+	Cells []Cell
+	// Frontier lists the indices (ascending) of the Pareto-minimal cells
+	// in (delay, noise, power); see Frontier.
+	Frontier []int
+}
+
+// At returns the cell at grid point (i, j).
+func (r *Result) At(i, j int) *Cell { return &r.Cells[i*r.Cols+j] }
+
+func (o *Options) fill() {
+	if len(o.DelayScale) == 0 {
+		o.DelayScale = []float64{1}
+	}
+	if len(o.NoiseScale) == 0 {
+		o.NoiseScale = []float64{1}
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+}
+
+// solverOptions builds one cell's core options from the sweep knobs.
+func (o Options) solverOptions(b bench.Bounds) core.Options {
+	sopt := core.DefaultOptions(b.A0, b.NoiseBound, b.PowerBound)
+	if o.MaxIterations > 0 {
+		sopt.MaxIterations = o.MaxIterations
+	}
+	if o.Epsilon > 0 {
+		sopt.Epsilon = o.Epsilon
+	}
+	sopt.WarmStart = !o.ColdLRS
+	sopt.Incremental = !o.FullPasses
+	sopt.ActiveSetTol = o.ActiveSetTol
+	sopt.CutoverHysteresis = o.CutoverHysteresis
+	sopt.Workers = o.Workers
+	return sopt
+}
+
+// cellBounds scales the base bounds for one grid point. The noise factor
+// scales only the variable part of X_B — the constant coupling offset is
+// fixed by the layout, so scaling past it would just manufacture an
+// infeasible bound.
+func cellBounds(base bench.Bounds, off, fd, fn float64) (bench.Bounds, error) {
+	if fd <= 0 || math.IsNaN(fd) || math.IsInf(fd, 0) {
+		return base, fmt.Errorf("sweep: delay scale factor must be positive and finite, got %g", fd)
+	}
+	if fn <= 0 || math.IsNaN(fn) || math.IsInf(fn, 0) {
+		return base, fmt.Errorf("sweep: noise scale factor must be positive and finite, got %g", fn)
+	}
+	b := base
+	b.A0 = fd * base.A0
+	if base.NoiseBound > 0 {
+		b.NoiseBound = off + fn*(base.NoiseBound-off)
+	}
+	return b, nil
+}
+
+// solveCell runs one cell: a fresh solver over the worker's evaluator at
+// the cell's bounds, seeded with the given sizes and (unless PrimalOnly)
+// the given dual state. It returns the cell's own final dual state for
+// the next cell in the seeding chain.
+func (o Options) solveCell(ev *rc.Evaluator, b bench.Bounds, seed []float64, dual *core.DualState) (*core.Result, *core.DualState, float64, error) {
+	sol, err := core.NewSolver(ev, o.solverOptions(b))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer sol.Close()
+	if o.PrimalOnly {
+		dual = nil
+	}
+	start := time.Now()
+	res, err := sol.RunFromDual(seed, dual)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	sec := time.Since(start).Seconds()
+	if o.PrimalOnly {
+		return res, nil, sec, nil
+	}
+	return res, sol.DualState(), sec, nil
+}
+
+// Run sweeps the bounds grid over one prebuilt instance. The instance is
+// shared read-only — every cell solves on its own evaluator replica, so
+// the instance's evaluator state (the Init sizes) is left untouched and
+// one instance can back any number of sweeps. Results come back in
+// row-major grid order with the Pareto frontier attached; on any cell
+// error the lowest-index error is returned after in-flight rows finish.
+func Run(inst *bench.Instance, opt Options) (*Result, error) {
+	opt.fill()
+	base := bench.DeriveBounds(inst)
+	if opt.Bounds != nil {
+		base = *opt.Bounds
+	}
+	off := inst.Coupling.ConstantOffset()
+	g, cs := inst.Eval.Graph(), inst.Eval.Couplings()
+	rows, cols := len(opt.DelayScale), len(opt.NoiseScale)
+	res := &Result{
+		Circuit:    inst.Spec.Name,
+		Rows:       rows,
+		Cols:       cols,
+		DelayScale: append([]float64(nil), opt.DelayScale...),
+		NoiseScale: append([]float64(nil), opt.NoiseScale...),
+		Cells:      make([]Cell, rows*cols),
+	}
+	for i, fd := range opt.DelayScale {
+		for j, fn := range opt.NoiseScale {
+			b, err := cellBounds(base, off, fd, fn)
+			if err != nil {
+				return nil, err
+			}
+			c := res.At(i, j)
+			c.Row, c.Col = i, j
+			c.DelayScale, c.NoiseScale = fd, fn
+			c.Bounds = b
+			c.SeedRow, c.SeedCol = -1, -1
+		}
+	}
+	// The shared seed for unseeded cells: the instance's initial sizes
+	// (what bench.RunInstance solves from).
+	initX := append([]float64(nil), inst.Eval.X...)
+
+	if opt.Cold {
+		errs := make([]error, len(res.Cells))
+		fanout.Each(len(res.Cells), opt.SweepWorkers, func(k int) {
+			ev, err := rc.NewEvaluator(g, cs)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			c := &res.Cells[k]
+			c.Result, _, c.SolveSec, errs[k] = opt.solveCell(ev, c.Bounds, initX, nil)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		res.Frontier = Frontier(res.Cells)
+		return res, nil
+	}
+
+	// Warm wavefront. Spine first: column 0 cell by cell on one replica,
+	// each seeded (sizes and dual state) from the cell above it.
+	spine, err := rc.NewEvaluator(g, cs)
+	if err != nil {
+		return nil, err
+	}
+	rowDual := make([]*core.DualState, rows)
+	seed := initX
+	var dual *core.DualState
+	for i := 0; i < rows; i++ {
+		c := res.At(i, 0)
+		if i > 0 {
+			c.SeedRow, c.SeedCol = i-1, 0
+		}
+		if c.Result, dual, c.SolveSec, err = opt.solveCell(spine, c.Bounds, seed, dual); err != nil {
+			return nil, err
+		}
+		seed = c.Result.X
+		rowDual[i] = dual
+	}
+	// Rows fan out: each row walks east on its own replica, seeding every
+	// cell from its western neighbour.
+	if cols > 1 {
+		errs := make([]error, rows)
+		fanout.Each(rows, opt.SweepWorkers, func(i int) {
+			ev, err := rc.NewEvaluator(g, cs)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rowSeed, rowD := res.At(i, 0).Result.X, rowDual[i]
+			for j := 1; j < cols; j++ {
+				c := res.At(i, j)
+				c.SeedRow, c.SeedCol = i, j-1
+				if c.Result, rowD, c.SolveSec, errs[i] = opt.solveCell(ev, c.Bounds, rowSeed, rowD); errs[i] != nil {
+					return
+				}
+				rowSeed = c.Result.X
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Frontier = Frontier(res.Cells)
+	return res, nil
+}
+
+// RunSpec builds the instance for one circuit spec — the expensive front
+// end, paid once — and sweeps the grid over it.
+func RunSpec(spec bench.Spec, pipe bench.PipelineOptions, opt Options) (*Result, error) {
+	inst, err := bench.BuildInstance(spec, pipe)
+	if err != nil {
+		return nil, err
+	}
+	return Run(inst, opt)
+}
