@@ -2,13 +2,14 @@
 GO ?= go
 
 # Minimum combined statement coverage for the numerical heart of the
-# solver (internal/rc + internal/core + internal/sweep). Measured 93.3%
-# when the gate was introduced, 95.0% with the PR-3 incremental engine,
-# and 94.8% with the PR-4 sweep engine in the denominator; raise it when
-# coverage grows, never lower it to make a PR pass.
+# solver plus its service front end (internal/rc + internal/core +
+# internal/sweep + internal/service). Measured 93.3% when the gate was
+# introduced, 95.0% with the PR-3 incremental engine, 94.8% with the PR-4
+# sweep engine, and 94.1% with the PR-5 service in the denominator; raise
+# it when coverage grows, never lower it to make a PR pass.
 COVER_MIN ?= 90.0
 
-.PHONY: all build test race bench bench-json lint cover fuzz golden
+.PHONY: all build test race bench bench-json lint cover fuzz golden serve service-smoke linkcheck
 
 all: lint build test
 
@@ -41,11 +42,12 @@ bench-json:
 	@rm -f $(BENCH_JSON).tmp
 	@echo "wrote $(BENCH_JSON)"
 
-# Statement-coverage gate over the evaluator, solver, and sweep packages.
+# Statement-coverage gate over the evaluator, solver, sweep, and service
+# packages.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/rc ./internal/core ./internal/sweep
+	$(GO) test -coverprofile=cover.out ./internal/rc ./internal/core ./internal/sweep ./internal/service
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "internal/rc + internal/core + internal/sweep coverage: $$total% (minimum $(COVER_MIN)%)"; \
+	echo "internal/rc + internal/core + internal/sweep + internal/service coverage: $$total% (minimum $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the $(COVER_MIN)% gate" >&2; exit 1; }
 
@@ -65,3 +67,17 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+
+# Every relative link in the repo's markdown files must resolve.
+linkcheck:
+	$(GO) run ./scripts/linkcheck
+
+# Run the sizing service locally (README.md has a curl walkthrough).
+serve:
+	$(GO) run ./cmd/ogwsd
+
+# End-to-end service smoke: start the real ogwsd binary on a free port,
+# solve c432 over HTTP, and diff the response against the committed
+# golden fixture bit for bit (see TESTING.md, "The service oracle").
+service-smoke:
+	./scripts/service_smoke.sh

@@ -19,9 +19,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgen: ")
-	circuit := flag.String("circuit", "c432", "circuit name from the ISCAS85 table")
-	out := flag.String("o", "", "output path (default stdout)")
-	seed := flag.Int64("seed", 0, "override the generation seed (0 = spec default)")
+	circuit := flag.String("circuit", "c432", "ISCAS85 circuit name from the built-in table (-list shows all)")
+	out := flag.String("o", "", "output path for the .bench netlist (default: stdout)")
+	seed := flag.Int64("seed", 0, "override the generation seed (0 = the spec's own seed; generation is deterministic per seed)")
 	list := flag.Bool("list", false, "list available circuits and exit")
 	flag.Parse()
 

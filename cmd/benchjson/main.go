@@ -42,7 +42,7 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output path (default stdout)")
+	out := flag.String("out", "", "output path for the JSON snapshot (default: stdout)")
 	flag.Parse()
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {

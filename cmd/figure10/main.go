@@ -21,7 +21,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figure10: ")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	circuits := flag.String("circuits", "", "comma-separated circuit names (default: all ten)")
+	circuits := flag.String("circuits", "", "comma-separated ISCAS85 circuit names (default: all ten)")
 	flag.Parse()
 
 	specs := bench.ISCAS85

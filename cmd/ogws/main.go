@@ -26,11 +26,11 @@ func main() {
 	log.SetPrefix("ogws: ")
 	synthetic := flag.String("synthetic", "", "synthetic ISCAS85-class circuit name (e.g. c432)")
 	benchFile := flag.String("bench", "", "path to an ISCAS85 .bench netlist")
-	seed := flag.Int64("seed", 1, "geometry seed for parsed netlists")
-	a0 := flag.Float64("a0", 0, "delay bound in ps (0 = derived)")
-	noise := flag.Float64("noise", 0, "total crosstalk bound X_B in fF (0 = derived)")
-	power := flag.Float64("power", 0, "power bound P' in fF (0 = derived)")
-	workers := flag.Int("workers", 0, "solver worker goroutines (0 = all cores, 1 = serial; results identical)")
+	seed := flag.Int64("seed", 1, "geometry seed for parsed netlists (wire lengths, channel shuffles)")
+	a0 := flag.Float64("a0", 0, "arrival-time bound A0 in ps (0 = self-calibrated: the initial delay)")
+	noise := flag.Float64("noise", 0, "total crosstalk bound X_B in fF (0 = self-calibrated: 25% above the minimum-size floor)")
+	power := flag.Float64("power", 0, "power bound P' in fF, capacitance equivalent P_B/V²f (0 = self-calibrated: 25% above the floor)")
+	workers := flag.Int("workers", 0, "solver worker goroutines (0 = all cores, 1 = serial; results bit-identical at every width)")
 	flag.Parse()
 
 	var (

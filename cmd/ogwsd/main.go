@@ -1,0 +1,79 @@
+// Command ogwsd serves the OGWS sizing stack over HTTP: register circuits
+// once (netlist upload or built-in synthetic spec), then solve and sweep
+// against the cached instance, with warm-start reuse between solves. See
+// internal/service for the API and README.md for a walkthrough.
+//
+// Usage:
+//
+//	ogwsd [-addr 127.0.0.1:8372] [-cache 8] [-max-solves 0]
+//	      [-workers 1] [-addr-file path]
+//
+// Quick check once it is running:
+//
+//	curl -s -X POST localhost:8372/circuits -d '{"synthetic":"c432"}'
+//	curl -s -X POST localhost:8372/solve -d '{"key":"<key from above>"}'
+//	curl -s localhost:8372/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ogwsd: ")
+	addr := flag.String("addr", "127.0.0.1:8372", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts; default: none)")
+	cache := flag.Int("cache", 8, "instance-cache capacity in circuits (LRU eviction beyond it)")
+	maxSolves := flag.Int("max-solves", 0, "max concurrent solves/sweeps across all circuits (0 = all cores)")
+	workers := flag.Int("workers", 1, "default solver goroutines per solve when a request leaves workers at 0 (1 = serial, negative = all cores; results bit-identical at every width)")
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		CacheSize:           *cache,
+		MaxConcurrentSolves: *maxSolves,
+		DefaultWorkers:      *workers,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	log.Printf("listening on %s (cache %d instances)", bound, *cache)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

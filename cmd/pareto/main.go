@@ -48,17 +48,17 @@ func parseAxis(name, s string) []float64 {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pareto: ")
-	circuits := flag.String("circuits", "c432", "comma-separated circuit names")
-	delay := flag.String("delay", "1", "comma-separated delay-bound scale factors (rows)")
-	noise := flag.String("noise", "0.6,0.8,1,1.3", "comma-separated noise-bound scale factors (columns)")
-	maxIter := flag.Int("maxiter", 0, "cap on OGWS iterations per cell (0 = solver default)")
-	epsilon := flag.Float64("epsilon", 0, "duality-gap precision (0 = paper's 1%)")
+	circuits := flag.String("circuits", "c432", "comma-separated ISCAS85 circuit names (benchgen -list shows all ten)")
+	delay := flag.String("delay", "1", "comma-separated delay-axis scale factors, one grid row each (unitless multipliers of the derived arrival bound A0 in ps)")
+	noise := flag.String("noise", "0.6,0.8,1,1.3", "comma-separated noise-axis scale factors, one grid column each (unitless multipliers of the variable part of the derived crosstalk bound X_B in fF)")
+	maxIter := flag.Int("maxiter", 0, "cap on OGWS iterations per cell (0 = solver default, 1000)")
+	epsilon := flag.Float64("epsilon", 0, "relative duality-gap precision, unitless (0 = the paper's 1%)")
 	cold := flag.Bool("cold", false, "solve every cell independently instead of warm-starting from neighbours")
 	s1 := flag.Bool("s1", false, "paper-faithful S1 size reset inside LRS and dual restart per cell (results independent of warm-start seeding)")
 	full := flag.Bool("full", false, "full evaluation passes every sweep (incremental escape hatch)")
-	sweepWorkers := flag.Int("sweep-workers", 0, "rows solved concurrently (0 = all cores)")
-	cellWorkers := flag.Int("cell-workers", 1, "solver width per cell (0 = 1)")
-	out := flag.String("out", "", "output path (default stdout)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "grid rows solved concurrently (0 = all cores; results bit-identical at every width)")
+	cellWorkers := flag.Int("cell-workers", 1, "solver goroutines per cell (0 = 1: the sweep level owns the cores; results bit-identical at every width)")
+	out := flag.String("out", "", "output path for the JSON grid (default: stdout)")
 	flag.Parse()
 
 	opt := sweep.Options{

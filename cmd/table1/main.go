@@ -21,11 +21,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("table1: ")
-	circuits := flag.String("circuits", "", "comma-separated circuit names (default: all ten)")
-	maxIter := flag.Int("maxiter", 0, "cap on OGWS iterations (0 = solver default)")
-	epsilon := flag.Float64("epsilon", 0, "duality-gap precision (0 = paper's 1%)")
+	circuits := flag.String("circuits", "", "comma-separated ISCAS85 circuit names (default: all ten)")
+	maxIter := flag.Int("maxiter", 0, "cap on OGWS iterations (0 = solver default, 1000)")
+	epsilon := flag.Float64("epsilon", 0, "relative duality-gap precision, unitless (0 = the paper's 1%)")
 	short := flag.Bool("short", false, "run only the circuits up to ~5k components")
-	parallel := flag.Int("parallel", 1, "circuits solved concurrently (0 = all cores); rows are identical either way")
+	parallel := flag.Int("parallel", 1, "circuits solved concurrently (0 = all cores; rows bit-identical at every width)")
 	flag.Parse()
 
 	var specs []bench.Spec

@@ -25,11 +25,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("woss: ")
 	benchFile := flag.String("bench", "", "path to an ISCAS85 .bench netlist")
-	synthetic := flag.String("synthetic", "", "synthetic circuit name (e.g. c432)")
-	nNets := flag.Int("nets", 12, "number of nets to order (a routing channel)")
-	patterns := flag.Int("patterns", 4096, "logic simulation vectors")
-	seed := flag.Int64("seed", 3, "simulation seed")
-	workers := flag.Int("workers", 0, "similarity-matrix worker goroutines (0 = all cores)")
+	synthetic := flag.String("synthetic", "", "synthetic ISCAS85 circuit name (e.g. c432)")
+	nNets := flag.Int("nets", 12, "number of nets to order as one routing channel")
+	patterns := flag.Int("patterns", 4096, "number of logic-simulation input vectors for the switching-similarity analysis")
+	seed := flag.Int64("seed", 3, "logic-simulation seed (results deterministic per seed)")
+	workers := flag.Int("workers", 0, "similarity-matrix worker goroutines (0 = all cores; matrix identical at every width)")
 	flag.Parse()
 
 	var (

@@ -1,0 +1,72 @@
+package bench
+
+// Instance identity and reuse hooks for long-running callers (the sizing
+// service, batch drivers): a cached Instance is worth reusing only when
+// every input that shaped it — the netlist, the geometry seed, and the
+// whole pipeline configuration — is identical, so the cache key must cover
+// all of them. The fingerprints below are canonical (defaults are filled
+// before encoding, floats print shortest-round-trip), so two option values
+// that elaborate identically hash identically.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/rc"
+)
+
+// Fingerprint returns a canonical text encoding of the pipeline options.
+// Defaults are filled first, so the zero value and an explicit
+// spelled-out default produce the same fingerprint; float fields use the
+// shortest round-trippable representation, so distinct values never
+// collide. The encoding is stable input to the instance cache keys
+// (NetlistKey, SpecKey) — changing it invalidates every cached instance,
+// nothing more.
+func (o PipelineOptions) Fingerprint() string {
+	o.fill()
+	return fmt.Sprintf("tech=%v|patterns=%d|channel=%d|pitch=%v|overlap=%v|ordering=%d|simweights=%t|init=%v|wls=%v",
+		*o.Tech, o.Patterns, o.ChannelSize, o.Pitch, o.OverlapFrac,
+		o.Ordering, o.SimilarityWeights, o.InitSize, o.WireLengthScale)
+}
+
+// NetlistKey is the instance-cache key for a parsed netlist upload: a
+// SHA-256 over the raw netlist bytes, the geometry seed, and the pipeline
+// fingerprint. Identical uploads with identical settings elaborate to
+// bit-identical instances (every pipeline stage is deterministic in these
+// inputs), so one cached instance can serve them all.
+func NetlistKey(raw []byte, seed int64, opt PipelineOptions) string {
+	h := sha256.New()
+	h.Write(raw)
+	fmt.Fprintf(h, "|seed=%d|%s", seed, opt.Fingerprint())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SpecKey is the instance-cache key for a synthetic circuit: a SHA-256
+// over the full spec (name, statistics, seed) and the pipeline
+// fingerprint.
+func SpecKey(spec Spec, opt PipelineOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "spec=%+v|%s", spec, opt.Fingerprint())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Replica returns a fresh evaluator over the instance's shared circuit
+// graph and coupling set, seeded with the instance evaluator's current
+// sizes (the Init uniform sizes unless the caller mutated them). Solves
+// mutate their evaluator, so concurrent or repeated solves against one
+// cached instance should each run on a replica — exactly how the sweep
+// engine shares one instance across a bounds grid — leaving the
+// instance's own evaluator (and with it DeriveBounds) untouched. The
+// graph and coupling set are read-only after construction and safe to
+// share between replicas.
+func (inst *Instance) Replica() (*rc.Evaluator, error) {
+	ev, err := rc.NewEvaluator(inst.Eval.Graph(), inst.Eval.Couplings())
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.SetSizes(inst.Eval.X); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}

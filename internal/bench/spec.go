@@ -1,8 +1,3 @@
-// Package bench is the experiment substrate: a calibrated synthetic
-// generator for ISCAS85-class circuits (the paper's benchmarks are not
-// redistributable and the environment is offline; see DESIGN.md §4), the
-// two-stage flow pipeline (wire ordering + LR sizing), and harnesses that
-// regenerate Table 1 and Figure 10.
 package bench
 
 // Spec describes one benchmark circuit by its published statistics. Gates

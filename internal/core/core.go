@@ -1,24 +1,3 @@
-// Package core implements the paper's primary contribution: optimal area
-// minimization under crosstalk (noise), delay, and power constraints by
-// simultaneous gate and wire sizing, using Lagrangian relaxation
-// (Section 4).
-//
-// The problem P̃ solved here is
-//
-//	minimize   Σ αᵢxᵢ
-//	subject to aⱼ ≤ A0                    (j feeding the sink)
-//	           aⱼ + Dᵢ ≤ aᵢ               (component edges)
-//	           Dᵢ ≤ aᵢ                    (drivers)
-//	           Σ cᵢ ≤ P′                  (power, P′ = P_B/V²f)
-//	           Σ wᵢⱼ·ĉᵢⱼ(xᵢ+xⱼ) ≤ X′     (crosstalk, X′ = X_B − Σ wᵢⱼc̃ᵢⱼ)
-//	           Lᵢ ≤ xᵢ ≤ Uᵢ.
-//
-// Solver.Run is Algorithm OGWS (Figure 9): a projected subgradient ascent
-// on the Lagrangian dual whose inner subproblem LRS (Figure 8) is solved by
-// greedy sweeps of Theorem 5's closed-form optimal resizing
-//
-//	optᵢ = √( λᵢ·r̂ᵢ·(C′ᵢ + Σ_{j∈N(i)} wᵢⱼĉᵢⱼxⱼ)
-//	        / (αᵢ + (β+Rᵢ)·ĉᵢ + γ·Σ_{j∈N(i)} wᵢⱼĉᵢⱼ) ).
 package core
 
 import (

@@ -1,0 +1,74 @@
+package core
+
+// DualState serialization. A Result is already plain exported data that
+// encoding/json round-trips bitwise (shortest round-trippable float64
+// representation), but the dual half of a warm start — the multiplier
+// snapshot — is opaque. The JSON form below makes a saved solve fully
+// externalizable: a service can hand a client (sizes, dual) and accept
+// them back later to warm-start a related solve, and the round trip is
+// exact because every multiplier is a finite float64.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// dualStateWire is the serialized form of a DualState: the per-edge
+// timing multipliers indexed like Graph.In, the scalar power/noise
+// multipliers, and the optional per-net γᵥ vector.
+type dualStateWire struct {
+	Edge   [][]float64 `json:"edge"`
+	Beta   float64     `json:"beta"`
+	Gamma  float64     `json:"gamma"`
+	GammaV []float64   `json:"gamma_v,omitempty"`
+}
+
+// MarshalJSON encodes the snapshot. Floats use the shortest
+// round-trippable representation, so Unmarshal reproduces every
+// multiplier bit for bit.
+func (d *DualState) MarshalJSON() ([]byte, error) {
+	return json.Marshal(dualStateWire{Edge: d.edge, Beta: d.beta, Gamma: d.gamma, GammaV: d.gammaV})
+}
+
+// UnmarshalJSON decodes a snapshot produced by MarshalJSON, rejecting
+// multipliers no valid ascent can produce (negative, NaN, or infinite) —
+// a poisoned multiplier would silently corrupt every size of the warmed
+// solve. Shape validation against the target circuit happens later, in
+// RunFromDual.
+func (d *DualState) UnmarshalJSON(data []byte) error {
+	var w dualStateWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	bad := func(v float64) bool { return v < 0 || math.IsNaN(v) || math.IsInf(v, 0) }
+	// The error labels are formatted only on the failure path: a large
+	// circuit's snapshot carries tens of thousands of edge multipliers
+	// and the happy path must stay allocation-free.
+	fail := func(what string, i int, v float64) error {
+		if i >= 0 {
+			what = fmt.Sprintf("%s[%d]", what, i)
+		}
+		return fmt.Errorf("core: dual state %s multiplier must be finite and non-negative, got %g", what, v)
+	}
+	if bad(w.Beta) {
+		return fail("beta", -1, w.Beta)
+	}
+	if bad(w.Gamma) {
+		return fail("gamma", -1, w.Gamma)
+	}
+	for i, e := range w.Edge {
+		for _, v := range e {
+			if bad(v) {
+				return fail("edge", i, v)
+			}
+		}
+	}
+	for i, v := range w.GammaV {
+		if bad(v) {
+			return fail("gamma_v", i, v)
+		}
+	}
+	d.edge, d.beta, d.gamma, d.gammaV = w.Edge, w.Beta, w.Gamma, w.GammaV
+	return nil
+}

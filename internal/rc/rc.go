@@ -1,40 +1,3 @@
-// Package rc is the Elmore-delay RC evaluation engine for sized circuit
-// graphs (Section 2.1 of the paper). For a size vector x it computes, in
-// one linear pass each:
-//
-//   - per-node capacitance cᵢ and effective resistance rᵢ,
-//   - stage-local downstream loads Bᵢ (reverse topological order),
-//   - Elmore node delays Dᵢ = rᵢ·Cᵢ with the paper's stage decomposition
-//     (gates decouple stages; a gate's input capacitance terminates the
-//     stage of each of its fan-in nets),
-//   - arrival times aᵢ = max_{j∈input(i)} aⱼ + Dᵢ and the critical path,
-//   - the weighted upstream resistances Rᵢ = Σ_{k∈upstream(i)} λₖ·rₖ used
-//     by Theorem 5 (forward topological order),
-//   - the totals (area, capacitance/power, crosstalk) of problem P̃.
-//
-// Coupling capacitances enter each wire's own downstream load Cᵢ (their
-// x-dependence is priced by Theorem 5's Σĉᵢⱼxⱼ term) but are not seen by
-// upstream resistances, keeping the evaluated Lagrangian exactly consistent
-// with the paper's optimality conditions; see DESIGN.md §2.
-//
-// # Levelized scheduling
-//
-// The two topological passes (stage loads B/C and arrival times in
-// Recompute, the weighted upstream resistances in UpstreamResistance) carry
-// chain dependencies, so they cannot be sharded as flat index ranges the
-// way the per-node electrical pass can. Instead they are scheduled over the
-// graph's topological levels (circuit.Graph.Level): every edge strictly
-// increases the level, so nodes sharing a level are mutually independent
-// and each level is a parallel region separated from the next by a barrier.
-// With a Runner installed the passes run level by level through it; without
-// one they fall back to the plain index-order reference loops
-// (RecomputeSerial, UpstreamResistanceSerial). Both schedules execute the
-// identical per-node bodies and every per-node accumulation folds in the
-// same fan-in/fan-out list order, so serial, levelized-inline, and
-// levelized-parallel results are bit-identical — a guarantee the golden,
-// property, and fuzz suites enforce.
-//
-// All delays are in ps, resistances in Ω, capacitances in fF, sizes in µm.
 package rc
 
 import (

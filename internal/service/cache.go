@@ -1,0 +1,182 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// savedResult is one named solve outcome kept for warm-start reuse: the
+// final sizes (the primal half of the next warm start), the final
+// multiplier snapshot (the dual half), and the full result for export.
+type savedResult struct {
+	Result *core.Result
+	Dual   *core.DualState
+}
+
+// entry is one cached circuit: the shared instance, its derived bounds,
+// and the named results solved against it. mu serializes every solve and
+// sweep on this circuit — solves run on evaluator replicas so they could
+// overlap safely, but serializing them keeps the per-circuit memory bound
+// at one replica, makes warm-start chains (solve → save → warm solve)
+// deterministic per circuit, and matches the sweep engine's
+// one-instance/many-cells discipline. Distinct circuits never contend.
+// The saved-results map has its own lock (resMu, never held together
+// with mu) so read-only endpoints stay responsive while a solve or sweep
+// holds mu for its whole — possibly minutes-long — duration.
+type entry struct {
+	key    string
+	name   string
+	inst   *bench.Instance
+	bounds bench.Bounds
+
+	mu sync.Mutex // serializes solves/sweeps on this circuit
+
+	resMu   sync.Mutex // guards results and order only
+	results map[string]*savedResult
+	order   []string // insertion order, for bounded eviction
+}
+
+// getResult returns the named saved result, or nil.
+func (e *entry) getResult(name string) *savedResult {
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	return e.results[name]
+}
+
+// resultNames lists the saved result names in insertion order.
+func (e *entry) resultNames() []string {
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	return append([]string(nil), e.order...)
+}
+
+// saveResult stores a named result, evicting the oldest name once the
+// per-instance budget is exceeded.
+func (e *entry) saveResult(name string, r *savedResult, max int) {
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	if _, exists := e.results[name]; !exists {
+		for len(e.order) >= max && len(e.order) > 0 {
+			delete(e.results, e.order[0])
+			e.order = e.order[1:]
+		}
+		e.order = append(e.order, name)
+	}
+	e.results[name] = r
+}
+
+// buildCall collapses concurrent registrations of the same key onto one
+// instance construction (the front end costs seconds on large circuits);
+// late arrivals block on done and share the outcome.
+type buildCall struct {
+	done chan struct{}
+	e    *entry
+	err  error
+}
+
+// instanceCache is the LRU-bounded instance cache keyed by netlist/spec
+// hash. Eviction drops the cache's reference only: requests already
+// holding an entry keep using it, and the memory is reclaimed when they
+// finish.
+type instanceCache struct {
+	mu        sync.Mutex
+	max       int
+	lru       *list.List // of *entry, front = most recently used
+	byKey     map[string]*list.Element
+	building  map[string]*buildCall
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newInstanceCache(max int) *instanceCache {
+	return &instanceCache{
+		max:      max,
+		lru:      list.New(),
+		byKey:    map[string]*list.Element{},
+		building: map[string]*buildCall{},
+	}
+}
+
+// get returns the cached entry for key, refreshing its recency, or nil.
+func (c *instanceCache) get(key string) *entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry)
+}
+
+// getOrBuild returns the entry for key, constructing it with build on a
+// miss. Concurrent calls for one key run build once and share the result;
+// the cache lock is never held across build.
+func (c *instanceCache) getOrBuild(key, name string, build func() (*bench.Instance, error)) (e *entry, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*entry), true, nil
+	}
+	if bc, ok := c.building[key]; ok {
+		c.mu.Unlock()
+		<-bc.done
+		if bc.err != nil {
+			// The build this call joined failed: nothing was cached, so
+			// nothing was hit — the counter measures amortization only.
+			return nil, false, bc.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return bc.e, true, nil
+	}
+	bc := &buildCall{done: make(chan struct{})}
+	c.building[key] = bc
+	c.misses++
+	c.mu.Unlock()
+
+	inst, err := build()
+	c.mu.Lock()
+	delete(c.building, key)
+	if err != nil {
+		c.mu.Unlock()
+		bc.err = err
+		close(bc.done)
+		return nil, false, err
+	}
+	bc.e = &entry{
+		key:     key,
+		name:    name,
+		inst:    inst,
+		bounds:  bench.DeriveBounds(inst),
+		results: map[string]*savedResult{},
+	}
+	c.byKey[key] = c.lru.PushFront(bc.e)
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+	close(bc.done)
+	return bc.e, false, nil
+}
+
+// snapshot returns the cached entries, most recently used first, plus the
+// hit/miss/eviction counters.
+func (c *instanceCache) snapshot() (entries []*entry, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*entry))
+	}
+	return entries, c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,500 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Options configures a Server. The zero value serves with the defaults
+// below.
+type Options struct {
+	// CacheSize bounds the instance cache (LRU over netlist/spec hashes);
+	// default 8 instances.
+	CacheSize int
+	// MaxConcurrentSolves bounds how many solves/sweeps run at once across
+	// all circuits (each additionally bounded to one per circuit by the
+	// per-instance lock); default runtime.GOMAXPROCS(0).
+	MaxConcurrentSolves int
+	// DefaultWorkers is the per-solve parallel width used when a request
+	// leaves workers at 0; 0 defaults to 1 (the request level owns the
+	// cores, exactly like the sweep engine's default split) and a
+	// negative value selects all cores, matching core.Options.Workers.
+	// Results are bit-identical at every width.
+	DefaultWorkers int
+	// MaxSavedResults bounds the named warm-start results kept per cached
+	// instance (oldest evicted first); default 32.
+	MaxSavedResults int
+	// MaxRequestBytes caps request bodies (netlist uploads dominate);
+	// default 16 MiB.
+	MaxRequestBytes int64
+}
+
+func (o *Options) fill() {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 8
+	}
+	if o.MaxConcurrentSolves <= 0 {
+		o.MaxConcurrentSolves = runtime.GOMAXPROCS(0)
+	}
+	if o.DefaultWorkers == 0 {
+		o.DefaultWorkers = 1
+	}
+	if o.MaxSavedResults <= 0 {
+		o.MaxSavedResults = 32
+	}
+	if o.MaxRequestBytes <= 0 {
+		o.MaxRequestBytes = 16 << 20
+	}
+}
+
+// Server is the ogwsd HTTP handler: an instance cache plus the solver and
+// sweep entry points behind a JSON API. Create with New; Server implements
+// http.Handler.
+type Server struct {
+	opt   Options
+	cache *instanceCache
+	stats serverStats
+	sem   chan struct{}
+	mux   *http.ServeMux
+}
+
+// New builds a Server with the given options.
+func New(opt Options) *Server {
+	opt.fill()
+	s := &Server{
+		opt:   opt,
+		cache: newInstanceCache(opt.CacheSize),
+		sem:   make(chan struct{}, opt.MaxConcurrentSolves),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /circuits", s.handleRegister)
+	s.mux.HandleFunc("GET /circuits", s.handleListCircuits)
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /results", s.handleResults)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxRequestBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorResponse is the uniform error payload of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(v) //nolint:errcheck // the connection is gone, nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// acquireSolveSlot takes a slot on the global solve semaphore, giving up
+// if the client disconnects first — an abandoned request must not go on
+// to burn a slot solving for a dead connection. Returns false (response
+// written, best-effort) when the request was shed. A solve that already
+// started is never cancelled mid-flight: the solver has no preemption
+// points, and its result may still be saved for warm-start reuse.
+func (s *Server) acquireSolveSlot(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "request cancelled while waiting for a solve slot")
+		return false
+	}
+	if r.Context().Err() != nil {
+		<-s.sem
+		writeError(w, http.StatusServiceUnavailable, "request cancelled before solving")
+		return false
+	}
+	return true
+}
+
+// decode parses a JSON request body strictly: unknown fields are rejected
+// so a typoed knob fails loudly instead of silently solving with defaults.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// decodeStatus maps a decode error to its HTTP status: an oversized body
+// (http.MaxBytesReader tripping Options.MaxRequestBytes) is 413 so the
+// client learns the size limit rather than hunting for a JSON mistake;
+// everything else is a plain 400.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// registerRequest uploads one circuit. Exactly one of synthetic (an
+// ISCAS85 spec name, e.g. "c432") or netlist (ISCAS85 .bench text) must be
+// set; seed and wire_length_scale feed the deterministic geometry pipeline
+// (see bench.PipelineOptions).
+type registerRequest struct {
+	// Synthetic names a built-in ISCAS85-class spec (bench.SpecByName).
+	Synthetic string `json:"synthetic,omitempty"`
+	// Netlist is the raw .bench netlist text for an upload.
+	Netlist string `json:"netlist,omitempty"`
+	// Name labels an uploaded netlist (default "upload"); ignored for
+	// synthetic circuits, which are named by their spec. The label is not
+	// part of the cache key — identical content registered under a
+	// different name hits the cache and keeps the first registration's
+	// label (the response echoes it).
+	Name string `json:"name,omitempty"`
+	// Seed is the geometry seed for uploads (wire lengths, channel
+	// shuffles); part of the cache key. Ignored for synthetic circuits,
+	// whose specs carry their own seed.
+	Seed int64 `json:"seed,omitempty"`
+	// WireLengthScale multiplies the synthetic routed wire lengths
+	// (default 1; 8 models global interconnect). Part of the cache key.
+	WireLengthScale float64 `json:"wire_length_scale,omitempty"`
+}
+
+// registerResponse describes the cached instance a registration resolved
+// to. Key is the instance-cache handle every later request uses; Cached
+// reports whether the instance already existed (the amortization the
+// cache exists for) — on a hit, Circuit is the label the instance was
+// first registered under. Bounds are the self-calibrated defaults solves
+// fall back to.
+type registerResponse struct {
+	Key        string       `json:"key"`
+	Circuit    string       `json:"circuit"`
+	Cached     bool         `json:"cached"`
+	Gates      int          `json:"gates"`
+	Wires      int          `json:"wires"`
+	Components int          `json:"components"`
+	Bounds     bench.Bounds `json:"bounds"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, decodeStatus(err), "bad register request: %v", err)
+		return
+	}
+	if (req.Synthetic == "") == (req.Netlist == "") {
+		writeError(w, http.StatusBadRequest, "register: exactly one of synthetic or netlist must be set")
+		return
+	}
+	if req.WireLengthScale < 0 {
+		writeError(w, http.StatusBadRequest, "register: wire_length_scale must be non-negative, got %g", req.WireLengthScale)
+		return
+	}
+	pipe := bench.PipelineOptions{WireLengthScale: req.WireLengthScale}
+
+	var (
+		key, name string
+		build     func() (*bench.Instance, error)
+	)
+	if req.Synthetic != "" {
+		spec, ok := bench.SpecByName(req.Synthetic)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "register: unknown synthetic circuit %q", req.Synthetic)
+			return
+		}
+		key, name = bench.SpecKey(spec, pipe), spec.Name
+		build = func() (*bench.Instance, error) { return bench.BuildInstance(spec, pipe) }
+	} else {
+		name = req.Name
+		if name == "" {
+			name = "upload"
+		}
+		key = bench.NetlistKey([]byte(req.Netlist), req.Seed, pipe)
+		build = func() (*bench.Instance, error) {
+			nl, err := netlist.Parse(name, strings.NewReader(req.Netlist))
+			if err != nil {
+				return nil, err
+			}
+			return bench.AssembleNetlist(nl, req.Seed, pipe)
+		}
+	}
+	e, hit, err := s.cache.getOrBuild(key, name, build)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "register %s: %v", name, err)
+		return
+	}
+	st := e.inst.Netlist.Stats()
+	writeJSON(w, http.StatusOK, registerResponse{
+		Key:        e.key,
+		Circuit:    e.name,
+		Cached:     hit,
+		Gates:      st.Gates,
+		Wires:      st.Connections + st.Outputs,
+		Components: st.Gates + st.Connections + st.Outputs,
+		Bounds:     e.bounds,
+	})
+}
+
+// circuitInfo is one GET /circuits row.
+type circuitInfo struct {
+	Key          string       `json:"key"`
+	Circuit      string       `json:"circuit"`
+	Bounds       bench.Bounds `json:"bounds"`
+	SavedResults []string     `json:"saved_results,omitempty"`
+}
+
+func (s *Server) handleListCircuits(w http.ResponseWriter, r *http.Request) {
+	entries, _, _, _ := s.cache.snapshot()
+	out := make([]circuitInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, circuitInfo{Key: e.key, Circuit: e.name, Bounds: e.bounds, SavedResults: e.resultNames()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// solveRequest runs one OGWS solve against a cached instance.
+//
+// Bound semantics (a0 in ps, noise X_B and power P′ in fF): 0 selects the
+// instance's self-calibrated derived bound, a positive value overrides it,
+// and a negative noise/power disables that constraint entirely.
+//
+// Warm starts: warm_from names a result previously stored with save_as on
+// the same instance and seeds both halves of the solve — the sizes
+// (rc.SetSizes, an ECO-sized perturbation for the dirty-cone engine) and
+// the final Lagrange multipliers (core.DualState, so the ascent starts
+// beside the dual optimum). Alternatively seed_sizes/dual supply both
+// halves inline (a result exported via GET /results round-trips).
+// primal_only drops the dual half; s1 additionally makes the LRS sweeps
+// reset to the lower bounds (core.Options.WarmStart = false, the
+// paper-faithful schedule under which results are seed-independent).
+type solveRequest struct {
+	Key string `json:"key"`
+	// Bounds: 0 = derived, >0 = override, <0 = disable (noise/power only).
+	A0    float64 `json:"a0,omitempty"`
+	Noise float64 `json:"noise,omitempty"`
+	Power float64 `json:"power,omitempty"`
+	// Solver knobs; 0 keeps the core.DefaultOptions value. Workers: 0 =
+	// the server's default width, negative = all cores, otherwise the
+	// exact goroutine count — results bit-identical at every width.
+	MaxIterations int     `json:"max_iterations,omitempty"`
+	Epsilon       float64 `json:"epsilon,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+	// Full throws the incremental escape hatch (full passes every sweep);
+	// results are bit-identical either way.
+	Full bool `json:"full,omitempty"`
+	// Warm-start controls (see type comment).
+	WarmFrom   string          `json:"warm_from,omitempty"`
+	SeedSizes  []float64       `json:"seed_sizes,omitempty"`
+	Dual       *core.DualState `json:"dual,omitempty"`
+	PrimalOnly bool            `json:"primal_only,omitempty"`
+	S1         bool            `json:"s1,omitempty"`
+	// SaveAs stores this solve's result under the given name for later
+	// warm_from reuse and GET /results export.
+	SaveAs string `json:"save_as,omitempty"`
+}
+
+// solveResponse carries the full solver result plus the request echo a
+// client needs to chain warm starts.
+type solveResponse struct {
+	Key      string       `json:"key"`
+	Circuit  string       `json:"circuit"`
+	WarmFrom string       `json:"warm_from,omitempty"`
+	SavedAs  string       `json:"saved_as,omitempty"`
+	Workers  int          `json:"workers"`
+	SolveSec float64      `json:"solve_sec"`
+	Result   *core.Result `json:"result"`
+}
+
+// resolveBounds applies the request's bound overrides to the instance's
+// derived bounds: 0 keeps the derived value, negative disables.
+func resolveBounds(base bench.Bounds, a0, noise, power float64) (bench.Bounds, error) {
+	b := base
+	if math.IsNaN(a0) || math.IsNaN(noise) || math.IsNaN(power) {
+		return b, errors.New("bounds must not be NaN")
+	}
+	if a0 != 0 {
+		b.A0 = a0 // negative/invalid values are rejected by core.Options.validate
+	}
+	if noise < 0 {
+		b.NoiseBound = 0
+	} else if noise > 0 {
+		b.NoiseBound = noise
+	}
+	if power < 0 {
+		b.PowerBound = 0
+	} else if power > 0 {
+		b.PowerBound = power
+	}
+	return b, nil
+}
+
+func (s *Server) solverOptions(b bench.Bounds, maxIter int, epsilon float64, workers int, full, warm bool) core.Options {
+	opt := core.DefaultOptions(b.A0, b.NoiseBound, b.PowerBound)
+	if maxIter > 0 {
+		opt.MaxIterations = maxIter
+	}
+	if epsilon > 0 {
+		opt.Epsilon = epsilon
+	}
+	if workers == 0 {
+		// 0 = server default; negative passes through to core's all-cores
+		// normalization, same as every other layer's workers knob.
+		workers = s.opt.DefaultWorkers
+	}
+	opt.Workers = workers
+	opt.Incremental = !full
+	opt.WarmStart = warm
+	return opt
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, decodeStatus(err), "bad solve request: %v", err)
+		return
+	}
+	e := s.cache.get(req.Key)
+	if e == nil {
+		writeError(w, http.StatusNotFound, "solve: no cached circuit for key %q (register it first; it may have been evicted)", req.Key)
+		return
+	}
+	if req.WarmFrom != "" && (req.SeedSizes != nil || req.Dual != nil) {
+		writeError(w, http.StatusBadRequest, "solve: warm_from and seed_sizes/dual are mutually exclusive")
+		return
+	}
+	bounds, err := resolveBounds(e.bounds, req.A0, req.Noise, req.Power)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "solve: %v", err)
+		return
+	}
+
+	// Per-circuit lock first, global solve slot second: a request queued
+	// behind another solve of the same circuit must not pin a semaphore
+	// slot while it waits, or a burst on one circuit would starve every
+	// other circuit. The order is the same everywhere (mu → sem) and a
+	// slot holder never waits on another entry's mu, so there is no cycle.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !s.acquireSolveSlot(w, r) {
+		return
+	}
+	defer func() { <-s.sem }()
+
+	// Resolve the warm-start seed under the instance lock so the chain
+	// solve → save_as → warm_from is deterministic per circuit.
+	seed := e.inst.Eval.X
+	dual := req.Dual
+	warm := false
+	switch {
+	case req.WarmFrom != "":
+		saved := e.getResult(req.WarmFrom)
+		if saved == nil {
+			writeError(w, http.StatusNotFound, "solve: no saved result %q on circuit %s", req.WarmFrom, e.name)
+			return
+		}
+		seed, dual, warm = saved.Result.X, saved.Dual, true
+	case req.SeedSizes != nil:
+		seed, warm = req.SeedSizes, true
+	}
+	if req.PrimalOnly {
+		dual = nil
+	}
+	if req.S1 {
+		warm = false // paper-faithful S1 reset: sizes reset to the lower bounds
+	}
+
+	opt := s.solverOptions(bounds, req.MaxIterations, req.Epsilon, req.Workers, req.Full, warm)
+	replica, err := e.inst.Replica()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "solve: %v", err)
+		return
+	}
+	sol, err := core.NewSolver(replica, opt)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
+		return
+	}
+	defer sol.Close()
+	start := time.Now()
+	res, err := sol.RunFromDual(seed, dual)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
+		return
+	}
+	sec := time.Since(start).Seconds()
+	if req.SaveAs != "" {
+		e.saveResult(req.SaveAs, &savedResult{Result: res, Dual: sol.DualState()}, s.opt.MaxSavedResults)
+	}
+	s.stats.addSolve(sec, replica.Stats(), sol.HysteresisTrips(), sol.RevertedSweeps())
+	writeJSON(w, http.StatusOK, solveResponse{
+		Key:      e.key,
+		Circuit:  e.name,
+		WarmFrom: req.WarmFrom,
+		SavedAs:  req.SaveAs,
+		Workers:  sol.Workers(),
+		SolveSec: sec,
+		Result:   res,
+	})
+}
+
+// resultResponse is the GET /results payload: a saved result with both
+// warm-start halves, externalized. Feeding sizes/dual back through a
+// solve request's seed_sizes/dual reproduces the server-side warm_from
+// path bit for bit.
+type resultResponse struct {
+	Key     string          `json:"key"`
+	Circuit string          `json:"circuit"`
+	Name    string          `json:"name"`
+	Result  *core.Result    `json:"result"`
+	Dual    *core.DualState `json:"dual,omitempty"`
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	key, name := r.URL.Query().Get("key"), r.URL.Query().Get("name")
+	if key == "" || name == "" {
+		writeError(w, http.StatusBadRequest, "results: key and name query parameters are required")
+		return
+	}
+	e := s.cache.get(key)
+	if e == nil {
+		writeError(w, http.StatusNotFound, "results: no cached circuit for key %q", key)
+		return
+	}
+	saved := e.getResult(name)
+	if saved == nil {
+		writeError(w, http.StatusNotFound, "results: no saved result %q on circuit %s", name, e.name)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultResponse{
+		Key: e.key, Circuit: e.name, Name: name,
+		Result: saved.Result, Dual: saved.Dual,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	entries, hits, misses, evictions := s.cache.snapshot()
+	writeJSON(w, http.StatusOK, s.stats.snapshot(len(entries), hits, misses, evictions))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

@@ -1,0 +1,297 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// c17Netlist returns the committed c17 .bench text — the cheapest real
+// circuit the service can register.
+func c17Netlist(t testing.TB) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "c17.bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// do sends one JSON request to the handler and returns the recorded
+// response.
+func do(t testing.TB, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	return w
+}
+
+func decodeAs[T any](t testing.TB, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+// registerC17 registers the c17 netlist with the given seed and returns
+// the cache key.
+func registerC17(t testing.TB, s *Server, seed int64) registerResponse {
+	t.Helper()
+	body, err := json.Marshal(registerRequest{Netlist: c17Netlist(t), Name: "c17", Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, "POST", "/circuits", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("register c17: %d %s", w.Code, w.Body.String())
+	}
+	return decodeAs[registerResponse](t, w)
+}
+
+func TestRegisterErrors(t *testing.T) {
+	s := New(Options{})
+	cases := []struct {
+		name, body string
+		code       int
+		want       string
+	}{
+		{"invalid json", `{`, http.StatusBadRequest, "bad register request"},
+		{"unknown field", `{"netlst":"x"}`, http.StatusBadRequest, "unknown field"},
+		{"neither source", `{}`, http.StatusBadRequest, "exactly one of"},
+		{"both sources", `{"synthetic":"c432","netlist":"INPUT(a)"}`, http.StatusBadRequest, "exactly one of"},
+		{"unknown synthetic", `{"synthetic":"c9999"}`, http.StatusBadRequest, "unknown synthetic"},
+		{"bad netlist", `{"netlist":"G1 = FOO(G2)"}`, http.StatusBadRequest, "register"},
+		{"negative scale", `{"synthetic":"c432","wire_length_scale":-2}`, http.StatusBadRequest, "wire_length_scale"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := do(t, s, "POST", "/circuits", c.body)
+			if w.Code != c.code {
+				t.Fatalf("status %d, want %d (%s)", w.Code, c.code, w.Body.String())
+			}
+			if e := decodeAs[errorResponse](t, w); !strings.Contains(e.Error, c.want) {
+				t.Errorf("error %q does not mention %q", e.Error, c.want)
+			}
+		})
+	}
+}
+
+func TestRegisterCachesByContent(t *testing.T) {
+	s := New(Options{})
+	first := registerC17(t, s, 17)
+	if first.Cached {
+		t.Error("first registration reported a cache hit")
+	}
+	if first.Circuit != "c17" || first.Gates == 0 || first.Wires == 0 {
+		t.Errorf("bad register response: %+v", first)
+	}
+	if first.Bounds.A0 <= 0 {
+		t.Errorf("derived bounds missing: %+v", first.Bounds)
+	}
+	again := registerC17(t, s, 17)
+	if !again.Cached || again.Key != first.Key {
+		t.Errorf("identical upload did not hit the cache: %+v vs %+v", again, first)
+	}
+	other := registerC17(t, s, 18)
+	if other.Cached || other.Key == first.Key {
+		t.Error("different seed reused the cached instance")
+	}
+
+	list := decodeAs[[]circuitInfo](t, do(t, s, "GET", "/circuits", ""))
+	if len(list) != 2 {
+		t.Fatalf("listed %d circuits, want 2", len(list))
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	s := New(Options{})
+	key := registerC17(t, s, 17).Key
+	cases := []struct {
+		name, body string
+		code       int
+		want       string
+	}{
+		{"invalid json", `{`, http.StatusBadRequest, "bad solve request"},
+		{"nan bound", `{"key":"x","a0":NaN}`, http.StatusBadRequest, "bad solve request"},
+		{"unknown key", `{"key":"nope"}`, http.StatusNotFound, "no cached circuit"},
+		{"warm and inline seed", fmt.Sprintf(`{"key":%q,"warm_from":"a","seed_sizes":[1]}`, key),
+			http.StatusBadRequest, "mutually exclusive"},
+		{"unknown warm_from", fmt.Sprintf(`{"key":%q,"warm_from":"missing"}`, key),
+			http.StatusNotFound, "no saved result"},
+		{"negative a0", fmt.Sprintf(`{"key":%q,"a0":-5}`, key),
+			http.StatusUnprocessableEntity, "A0 must be positive"},
+		{"infeasible noise", fmt.Sprintf(`{"key":%q,"noise":1e-12}`, key),
+			http.StatusUnprocessableEntity, "below the constant coupling offset"},
+		{"bad seed length", fmt.Sprintf(`{"key":%q,"seed_sizes":[1.5]}`, key),
+			http.StatusUnprocessableEntity, "solve"},
+		{"poisoned dual", fmt.Sprintf(`{"key":%q,"dual":{"edge":[[-1]],"beta":0,"gamma":0}}`, key),
+			http.StatusBadRequest, "non-negative"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := do(t, s, "POST", "/solve", c.body)
+			if w.Code != c.code {
+				t.Fatalf("status %d, want %d (%s)", w.Code, c.code, w.Body.String())
+			}
+			if e := decodeAs[errorResponse](t, w); !strings.Contains(e.Error, c.want) {
+				t.Errorf("error %q does not mention %q", e.Error, c.want)
+			}
+		})
+	}
+}
+
+// TestFailedBuildNotCountedAsHit registers the same broken netlist
+// concurrently: whether the requests join one failed build or each run
+// their own, nothing was cached, so the hit counter must stay zero.
+func TestFailedBuildNotCountedAsHit(t *testing.T) {
+	s := New(Options{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := do(t, s, "POST", "/circuits", `{"netlist":"G1 = FOO(G2)"}`)
+			if w.Code != http.StatusBadRequest {
+				t.Errorf("broken netlist: status %d, want 400", w.Code)
+			}
+		}()
+	}
+	wg.Wait()
+	st := decodeAs[Stats](t, do(t, s, "GET", "/stats", ""))
+	if st.CacheHits != 0 || st.Instances != 0 {
+		t.Errorf("failed builds counted: hits %d instances %d, want 0 and 0", st.CacheHits, st.Instances)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s := New(Options{CacheSize: 1})
+	key17 := registerC17(t, s, 17).Key
+	key18 := registerC17(t, s, 18).Key // evicts seed 17
+
+	w := do(t, s, "POST", "/solve", fmt.Sprintf(`{"key":%q}`, key17))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("solve on evicted key: status %d, want 404", w.Code)
+	}
+	if w = do(t, s, "POST", "/solve", fmt.Sprintf(`{"key":%q,"max_iterations":4}`, key18)); w.Code != http.StatusOK {
+		t.Fatalf("solve on cached key: %d %s", w.Code, w.Body.String())
+	}
+	st := decodeAs[Stats](t, do(t, s, "GET", "/stats", ""))
+	if st.Evictions != 1 || st.Instances != 1 {
+		t.Errorf("stats: evictions %d instances %d, want 1 and 1", st.Evictions, st.Instances)
+	}
+	// Re-registering the evicted circuit rebuilds it under the same key.
+	if again := registerC17(t, s, 17); again.Cached || again.Key != key17 {
+		t.Errorf("re-registration after eviction: %+v", again)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := New(Options{})
+	key := registerC17(t, s, 17).Key
+	if w := do(t, s, "POST", "/solve", fmt.Sprintf(`{"key":%q,"max_iterations":4}`, key)); w.Code != http.StatusOK {
+		t.Fatalf("solve: %d %s", w.Code, w.Body.String())
+	}
+	body := fmt.Sprintf(`{"key":%q,"delay_scale":[1,1.05],"noise_scale":[1,1.2],"max_iterations":3}`, key)
+	if w := do(t, s, "POST", "/sweep", body); w.Code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", w.Code, w.Body.String())
+	}
+	st := decodeAs[Stats](t, do(t, s, "GET", "/stats", ""))
+	if st.Solves != 1 || st.Sweeps != 1 || st.SweepCells != 4 {
+		t.Errorf("stats: solves %d sweeps %d cells %d, want 1/1/4", st.Solves, st.Sweeps, st.SweepCells)
+	}
+	if st.NodeVisits == 0 || st.Eval.FullRecomputes == 0 {
+		t.Errorf("evaluator work not accounted: %+v", st.Eval)
+	}
+	if st.SweepLRSSweeps == 0 {
+		t.Error("sweep LRS work not accounted")
+	}
+	if st.SolveSec <= 0 || st.SweepCellsPerSec <= 0 {
+		t.Errorf("throughput not accounted: %+v", st)
+	}
+	if st.CacheMiss != 1 || st.CacheHits != 0 {
+		t.Errorf("cache counters: hits %d misses %d, want 0 and 1", st.CacheHits, st.CacheMiss)
+	}
+}
+
+// TestOversizedBodyGets413 pins the request-size limit to its proper
+// status: the client should learn the cap, not debug its JSON.
+func TestOversizedBodyGets413(t *testing.T) {
+	s := New(Options{MaxRequestBytes: 64})
+	body := fmt.Sprintf(`{"netlist":%q}`, strings.Repeat("x", 256))
+	w := do(t, s, "POST", "/circuits", body)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%s)", w.Code, w.Body.String())
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := New(Options{})
+	w := do(t, s, "GET", "/healthz", "")
+	if w.Code != http.StatusOK || !decodeAs[map[string]bool](t, w)["ok"] {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestResultsExport(t *testing.T) {
+	s := New(Options{})
+	key := registerC17(t, s, 17).Key
+	if w := do(t, s, "POST", "/solve", fmt.Sprintf(`{"key":%q,"max_iterations":4,"save_as":"base"}`, key)); w.Code != http.StatusOK {
+		t.Fatalf("solve: %d %s", w.Code, w.Body.String())
+	}
+	cases := []struct {
+		name, path string
+		code       int
+	}{
+		{"missing params", "/results", http.StatusBadRequest},
+		{"unknown key", "/results?key=nope&name=base", http.StatusNotFound},
+		{"unknown name", "/results?key=" + key + "&name=nope", http.StatusNotFound},
+		{"found", "/results?key=" + key + "&name=base", http.StatusOK},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := do(t, s, "GET", c.path, "")
+			if w.Code != c.code {
+				t.Fatalf("status %d, want %d (%s)", w.Code, c.code, w.Body.String())
+			}
+		})
+	}
+	res := decodeAs[resultResponse](t, do(t, s, "GET", "/results?key="+key+"&name=base", ""))
+	if res.Result == nil || res.Dual == nil || res.Name != "base" {
+		t.Fatalf("export missing payload: %+v", res)
+	}
+}
+
+// TestSavedResultEviction pins the per-instance result budget: the oldest
+// name falls out once MaxSavedResults is exceeded.
+func TestSavedResultEviction(t *testing.T) {
+	s := New(Options{MaxSavedResults: 2})
+	key := registerC17(t, s, 17).Key
+	for _, name := range []string{"a", "b", "c"} {
+		body := fmt.Sprintf(`{"key":%q,"max_iterations":2,"save_as":%q}`, key, name)
+		if w := do(t, s, "POST", "/solve", body); w.Code != http.StatusOK {
+			t.Fatalf("solve %s: %d %s", name, w.Code, w.Body.String())
+		}
+	}
+	if w := do(t, s, "GET", "/results?key="+key+"&name=a", ""); w.Code != http.StatusNotFound {
+		t.Errorf("oldest result still present: %d", w.Code)
+	}
+	for _, name := range []string{"b", "c"} {
+		if w := do(t, s, "GET", "/results?key="+key+"&name="+name, ""); w.Code != http.StatusOK {
+			t.Errorf("result %s missing: %d", name, w.Code)
+		}
+	}
+}

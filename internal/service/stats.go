@@ -1,0 +1,112 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/rc"
+)
+
+// serverStats accumulates work counters across every request the server
+// has handled: solve and sweep counts and wall-clock, the evaluator work
+// counters summed over all request replicas, and the solver's cutover
+// hysteresis accounting. Everything is additive, so concurrent requests
+// just fold in under the mutex when they finish.
+type serverStats struct {
+	mu             sync.Mutex
+	solves         int64
+	solveSec       float64
+	sweeps         int64
+	sweepCells     int64
+	sweepLRSSweeps int64
+	sweepSec       float64
+	eval           rc.EvalStats
+	hystTrips      int64
+	revertedSweeps int64
+}
+
+func addEval(dst *rc.EvalStats, s rc.EvalStats) {
+	dst.FullRecomputes += s.FullRecomputes
+	dst.IncRecomputes += s.IncRecomputes
+	dst.FullUpstreams += s.FullUpstreams
+	dst.IncUpstreams += s.IncUpstreams
+	dst.DegradedRecomputes += s.DegradedRecomputes
+	dst.DegradedUpstreams += s.DegradedUpstreams
+	dst.CutoverRecomputes += s.CutoverRecomputes
+	dst.CutoverUpstreams += s.CutoverUpstreams
+	dst.ElectricalNodes += s.ElectricalNodes
+	dst.CouplingNodes += s.CouplingNodes
+	dst.LoadsNodes += s.LoadsNodes
+	dst.ArrivalNodes += s.ArrivalNodes
+	dst.UpstreamNodes += s.UpstreamNodes
+}
+
+func (st *serverStats) addSolve(sec float64, ev rc.EvalStats, trips, reverted int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.solves++
+	st.solveSec += sec
+	addEval(&st.eval, ev)
+	st.hystTrips += trips
+	st.revertedSweeps += reverted
+}
+
+func (st *serverStats) addSweep(sec float64, cells, lrsSweeps int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweeps++
+	st.sweepCells += int64(cells)
+	st.sweepLRSSweeps += int64(lrsSweeps)
+	st.sweepSec += sec
+}
+
+// Stats is the GET /stats payload: cache effectiveness, request volume,
+// throughput, and the solver/evaluator work counters every lower layer
+// already keeps (rc.EvalStats, hysteresis trips).
+type Stats struct {
+	// Instances is the current cache population; the hit/miss/eviction
+	// counters cover the server's whole lifetime.
+	Instances  int   `json:"instances"`
+	CacheHits  int64 `json:"cache_hits"`
+	CacheMiss  int64 `json:"cache_misses"`
+	Evictions  int64 `json:"evictions"`
+	Solves     int64 `json:"solves"`
+	Sweeps     int64 `json:"sweeps"`
+	SweepCells int64 `json:"sweep_cells"`
+	// SolveSec / SweepSec are summed request wall-clocks (s);
+	// SweepCellsPerSec is the aggregate sweep throughput the PR-4
+	// benchmarks report as cells/s, and SweepLRSSweeps the total inner
+	// LRS sweeps the grids executed (their work measure).
+	SolveSec         float64 `json:"solve_sec"`
+	SweepSec         float64 `json:"sweep_sec"`
+	SweepCellsPerSec float64 `json:"sweep_cells_per_sec"`
+	SweepLRSSweeps   int64   `json:"sweep_lrs_sweeps"`
+	// Eval sums the rc.EvalStats work counters over the /solve request
+	// evaluators (sweep cells solve on internal/sweep's own replicas,
+	// which are accounted via SweepLRSSweeps instead); NodeVisits is the
+	// per-node body total, HysteresisTrips / RevertedSweeps the
+	// solver-level cutover accounting, both for /solve requests.
+	Eval            rc.EvalStats `json:"eval"`
+	NodeVisits      int64        `json:"node_visits"`
+	HysteresisTrips int64        `json:"hysteresis_trips"`
+	RevertedSweeps  int64        `json:"reverted_sweeps"`
+}
+
+func (st *serverStats) snapshot(instances int, hits, misses, evictions int64) Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := Stats{
+		Instances: instances,
+		CacheHits: hits, CacheMiss: misses, Evictions: evictions,
+		Solves: st.solves, Sweeps: st.sweeps, SweepCells: st.sweepCells,
+		SweepLRSSweeps: st.sweepLRSSweeps,
+		SolveSec:       st.solveSec, SweepSec: st.sweepSec,
+		Eval:            st.eval,
+		NodeVisits:      st.eval.NodeVisits(),
+		HysteresisTrips: st.hystTrips,
+		RevertedSweeps:  st.revertedSweeps,
+	}
+	if st.sweepSec > 0 {
+		out.SweepCellsPerSec = float64(st.sweepCells) / st.sweepSec
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+// Package sweep is the bounds-grid sweep engine: one shared
+// bench.Instance solved across a grid of delay/noise bounds, producing
+// the paper's family of noise/delay/power trade-off points (Table 1,
+// Figure 10) as a single workload.
+//
+// The engine amortizes the expensive front end — netlist generation,
+// logic simulation, elaboration, wire ordering, coupling extraction —
+// across every cell: the instance is built once and each cell solves on a
+// lightweight evaluator replica over the shared graph and coupling set.
+// Cells are warm-started on both halves of the problem: each one seeds
+// the solver with the final sizes of its nearest already-solved neighbour
+// through core.Solver.RunFromDual (rc.SetSizes under the hood), so the
+// PR-3 dirty-cone/active-set engine sees a neighbouring bounds cell as an
+// ECO-sized perturbation of a near-solution instead of a cold solve — and,
+// unless PrimalOnly, with the neighbour's final Lagrange multipliers, so
+// the subgradient ascent starts beside the dual optimum and certifies
+// convergence in a fraction of the cold iteration count.
+//
+// The warm-start sources form a static wavefront — cell (i,0) seeds from
+// (i−1,0) and cell (i,j) from (i,j−1) — so the seeding chain of every
+// cell is fixed in advance: results never depend on completion order or
+// on how many rows solve concurrently, and the whole grid is
+// bit-reproducible at every SweepWorkers and per-cell Workers width (the
+// golden sweep fixture enforces this). Column 0 solves first as a
+// sequential spine; the rows then fan out onto the PR-1 worker pool via
+// internal/fanout. Long-running callers can observe cells as they finish
+// through Options.OnCell (the sizing service's row streaming) without
+// affecting a single solved bit.
+package sweep

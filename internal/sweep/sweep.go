@@ -1,32 +1,7 @@
-// Package sweep is the bounds-grid sweep engine: one shared
-// bench.Instance solved across a grid of delay/noise bounds, producing
-// the paper's family of noise/delay/power trade-off points (Table 1,
-// Figure 10) as a single workload.
-//
-// The engine amortizes the expensive front end — netlist generation,
-// logic simulation, elaboration, wire ordering, coupling extraction —
-// across every cell: the instance is built once and each cell solves on a
-// lightweight evaluator replica over the shared graph and coupling set.
-// Cells are warm-started on both halves of the problem: each one seeds
-// the solver with the final sizes of its nearest already-solved neighbour
-// through core.Solver.RunFromDual (rc.SetSizes under the hood), so the
-// PR-3 dirty-cone/active-set engine sees a neighbouring bounds cell as an
-// ECO-sized perturbation of a near-solution instead of a cold solve — and,
-// unless PrimalOnly, with the neighbour's final Lagrange multipliers, so
-// the subgradient ascent starts beside the dual optimum and certifies
-// convergence in a fraction of the cold iteration count.
-//
-// The warm-start sources form a static wavefront — cell (i,0) seeds from
-// (i−1,0) and cell (i,j) from (i,j−1) — so the seeding chain of every
-// cell is fixed in advance: results never depend on completion order or
-// on how many rows solve concurrently, and the whole grid is
-// bit-reproducible at every SweepWorkers and per-cell Workers width (the
-// golden sweep fixture enforces this). Column 0 solves first as a
-// sequential spine; the rows then fan out onto the PR-1 worker pool via
-// internal/fanout.
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -85,7 +60,35 @@ type Options struct {
 	// ActiveSetTol and CutoverHysteresis pass through to core.Options.
 	ActiveSetTol      float64
 	CutoverHysteresis int
+	// OnCell, when non-nil, is called once per cell immediately after that
+	// cell's solve completes, with the fully populated cell — the
+	// row-streaming hook long-running callers (the sizing service) use to
+	// emit results as they arrive instead of waiting for the whole grid.
+	// In a warm sweep, calls within one row arrive in ascending column
+	// order (rows solve concurrently and interleave freely); a Cold sweep
+	// fans out individual cells, so its calls arrive in no particular
+	// order. The callback must be safe for concurrent use and must not
+	// mutate the cell or retain its slices past the call (read-only
+	// access to Result is fine: nothing else writes it). Streaming never
+	// affects the solved values — the grid is the same bit-identical
+	// row-major Result with or without a callback.
+	OnCell func(*Cell)
+	// Cancel, when non-nil, is polled before each cell's solve; once it
+	// returns true no further cells start and Run returns ErrCancelled.
+	// A cell already solving runs to completion (the solver has no
+	// preemption points), so cancellation latency is one cell per active
+	// row. Long-running callers use this to shed abandoned work — e.g.
+	// the sizing service polls the request context. Never polled on a
+	// sweep that was not cancelled, so the solved grid is unaffected.
+	Cancel func() bool
 }
+
+// ErrCancelled is returned by Run when Options.Cancel stopped the sweep
+// before every cell solved.
+var ErrCancelled = errors.New("sweep: cancelled")
+
+// cancelled polls the Cancel hook.
+func (o Options) cancelled() bool { return o.Cancel != nil && o.Cancel() }
 
 // Cell is one solved grid point.
 type Cell struct {
@@ -237,6 +240,10 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 	if opt.Cold {
 		errs := make([]error, len(res.Cells))
 		fanout.Each(len(res.Cells), opt.SweepWorkers, func(k int) {
+			if opt.cancelled() {
+				errs[k] = ErrCancelled
+				return
+			}
 			ev, err := rc.NewEvaluator(g, cs)
 			if err != nil {
 				errs[k] = err
@@ -244,6 +251,9 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 			}
 			c := &res.Cells[k]
 			c.Result, _, c.SolveSec, errs[k] = opt.solveCell(ev, c.Bounds, initX, nil)
+			if opt.OnCell != nil && errs[k] == nil {
+				opt.OnCell(c)
+			}
 		})
 		for _, err := range errs {
 			if err != nil {
@@ -264,12 +274,18 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 	seed := initX
 	var dual *core.DualState
 	for i := 0; i < rows; i++ {
+		if opt.cancelled() {
+			return nil, ErrCancelled
+		}
 		c := res.At(i, 0)
 		if i > 0 {
 			c.SeedRow, c.SeedCol = i-1, 0
 		}
 		if c.Result, dual, c.SolveSec, err = opt.solveCell(spine, c.Bounds, seed, dual); err != nil {
 			return nil, err
+		}
+		if opt.OnCell != nil {
+			opt.OnCell(c)
 		}
 		seed = c.Result.X
 		rowDual[i] = dual
@@ -286,10 +302,17 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 			}
 			rowSeed, rowD := res.At(i, 0).Result.X, rowDual[i]
 			for j := 1; j < cols; j++ {
+				if opt.cancelled() {
+					errs[i] = ErrCancelled
+					return
+				}
 				c := res.At(i, j)
 				c.SeedRow, c.SeedCol = i, j-1
 				if c.Result, rowD, c.SolveSec, errs[i] = opt.solveCell(ev, c.Bounds, rowSeed, rowD); errs[i] != nil {
 					return
+				}
+				if opt.OnCell != nil {
+					opt.OnCell(c)
 				}
 				rowSeed = c.Result.X
 			}

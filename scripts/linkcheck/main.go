@@ -1,0 +1,126 @@
+// Command linkcheck verifies that every relative link in the repository's
+// markdown files points at a file or directory that exists. External
+// (http/https/mailto) links and pure in-page anchors are skipped — the
+// check needs no network and stays deterministic. CI runs it in the lint
+// job (`make linkcheck`); it exits non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// inlineLink matches [text](target ...) including optional titles;
+// refDef matches reference-style definitions like `[label]: target`.
+// Footnote labels ([^1]:) and definition lines whose first word does not
+// look like a path or URL (no '/', '.', or scheme — e.g. `[RFC]: See
+// the paper`) are prose, not links, and must not fail the check.
+var (
+	inlineLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	refDef     = regexp.MustCompile(`(?m)^\[[^^\]][^\]]*\]:\s+(\S+)`)
+)
+
+// pathlike reports whether a reference-definition target plausibly names
+// a file, directory, or URL rather than starting a prose sentence.
+func pathlike(target string) bool {
+	return strings.ContainsAny(target, "/.#") || skippable(target)
+}
+
+func skippable(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+// stripFences removes fenced code blocks (``` … ```) so example snippets
+// quoting illustrative links or NDJSON output never fail the check.
+func stripFences(text string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.String()
+}
+
+func checkFile(path string) (broken []string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := stripFences(string(data))
+	targets := []string{}
+	for _, m := range inlineLink.FindAllStringSubmatch(text, -1) {
+		targets = append(targets, m[1])
+	}
+	for _, m := range refDef.FindAllStringSubmatch(text, -1) {
+		if pathlike(m[1]) {
+			targets = append(targets, m[1])
+		}
+	}
+	for _, target := range targets {
+		if skippable(target) {
+			continue
+		}
+		target = strings.SplitN(target, "#", 2)[0]
+		if target == "" {
+			continue
+		}
+		if dec, err := url.PathUnescape(target); err == nil {
+			target = dec
+		}
+		if _, err := os.Stat(filepath.Join(filepath.Dir(path), target)); err != nil {
+			broken = append(broken, fmt.Sprintf("%s: broken link %q", path, target))
+		}
+	}
+	return broken, nil
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		b, err := checkFile(path)
+		broken = append(broken, b...)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, "linkcheck:", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("linkcheck: all markdown links resolve")
+}

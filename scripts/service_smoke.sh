@@ -1,0 +1,34 @@
+#!/bin/sh
+# CI smoke for cmd/ogwsd: build and start the real binary on a free TCP
+# port, then drive it with scripts/servicecheck — register c432 over HTTP,
+# solve at the golden fixture's settings (30 iterations), and diff the
+# response bit-for-bit against testdata/golden/c432.json. This is the
+# same oracle the in-process service tests pin, re-checked end to end
+# through a real listener and a real client connection.
+set -eu
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/ogwsd" ./cmd/ogwsd
+"$tmp/ogwsd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "service_smoke: ogwsd did not write its address in time" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+addr="$(head -n1 "$tmp/addr")"
+go run ./scripts/servicecheck -addr "$addr" -synthetic c432 -maxiter 30 \
+	-golden testdata/golden/c432.json
