@@ -6,10 +6,21 @@
 // Usage:
 //
 //	go test -run '^$' -bench Incremental -benchmem -benchtime 1x . | benchjson -out BENCH_PR3.json
+//	benchjson -compare BENCH_PR4.json -against bench-ci.json
 //
 // The output is deterministic for a given input: benchmarks keep their
 // input order, metric maps marshal with sorted keys, and no timestamps are
 // embedded (goos/goarch/cpu identify the machine class instead).
+//
+// -compare is the CI regression guard: it diffs a current snapshot
+// (-against, or parsed from stdin when omitted) against a committed
+// baseline, matching benchmarks by name with any trailing GOMAXPROCS
+// suffix ("-8") stripped. Allocation growth beyond -alloc-tolerance is a
+// hard failure (allocs/op is deterministic, so growth is a real
+// regression); ns/op growth beyond -ns-noise only warns, because shared
+// CI runners are too noisy for wall-clock gates. A baseline benchmark
+// missing from the current snapshot also fails — a silently dropped
+// benchmark is how trajectories rot.
 package main
 
 import (
@@ -17,7 +28,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -43,7 +56,34 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("out", "", "output path for the JSON snapshot (default: stdout)")
+	compareBase := flag.String("compare", "", "committed baseline snapshot to diff against (regression guard mode)")
+	against := flag.String("against", "", "current snapshot JSON for -compare (default: parse `go test -bench` output from stdin)")
+	allocTol := flag.Float64("alloc-tolerance", 0.05, "allowed fractional allocs/op growth before -compare fails")
+	nsNoise := flag.Float64("ns-noise", 0.50, "fractional ns/op growth beyond which -compare warns (never fails)")
 	flag.Parse()
+
+	if *compareBase != "" {
+		base, err := readSnapshot(*compareBase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var cur *Snapshot
+		if *against != "" {
+			cur, err = readSnapshot(*against)
+		} else {
+			cur, err = parse(bufio.NewScanner(os.Stdin))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !compare(os.Stdout, base, cur, *allocTol, *nsNoise) {
+			os.Exit(1)
+		}
+		return
+	}
+
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -67,6 +107,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap := new(Snapshot)
+	if err := json.Unmarshal(data, snap); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return snap, nil
+}
+
+// gomaxprocsSuffix is the "-8" tail `go test` appends to benchmark names
+// when GOMAXPROCS > 1. Stripped before matching so snapshots taken on
+// machines of different widths still line up.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func benchKey(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// compare diffs cur against base and reports per-benchmark deltas to w.
+// It returns false — the CI-failing outcome — on allocs/op growth beyond
+// allocTol or on a baseline benchmark missing from cur. ns/op growth
+// beyond nsNoise (and any bytes/op growth) only warns.
+func compare(w io.Writer, base, cur *Snapshot, allocTol, nsNoise float64) bool {
+	curBy := make(map[string]*Benchmark, len(cur.Benchmarks))
+	for i := range cur.Benchmarks {
+		curBy[benchKey(cur.Benchmarks[i].Name)] = &cur.Benchmarks[i]
+	}
+	pct := func(old, new float64) string {
+		if old == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+	}
+	ok := true
+	warnings := 0
+	for i := range base.Benchmarks {
+		b := &base.Benchmarks[i]
+		key := benchKey(b.Name)
+		c, found := curBy[key]
+		if !found {
+			fmt.Fprintf(w, "FAIL %s: in baseline but missing from current run\n", key)
+			ok = false
+			continue
+		}
+		if b.AllocsOp != nil && c.AllocsOp != nil && *c.AllocsOp > *b.AllocsOp*(1+allocTol) {
+			fmt.Fprintf(w, "FAIL %s: allocs/op %v -> %v (%s, tolerance %.0f%%)\n",
+				key, *b.AllocsOp, *c.AllocsOp, pct(*b.AllocsOp, *c.AllocsOp), 100*allocTol)
+			ok = false
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+nsNoise) {
+			fmt.Fprintf(w, "warn %s: ns/op %.0f -> %.0f (%s, noise threshold %.0f%%; not failing)\n",
+				key, b.NsPerOp, c.NsPerOp, pct(b.NsPerOp, c.NsPerOp), 100*nsNoise)
+			warnings++
+		}
+	}
+	fmt.Fprintf(w, "compared %d baseline benchmarks against %d current: %s, %d warning(s)\n",
+		len(base.Benchmarks), len(cur.Benchmarks),
+		map[bool]string{true: "no regressions", false: "REGRESSIONS FOUND"}[ok], warnings)
+	return ok
 }
 
 // parse consumes `go test -bench` output: header lines (goos/goarch/pkg/

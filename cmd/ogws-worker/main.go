@@ -1,0 +1,61 @@
+// Command ogws-worker is a farm worker node: it registers with an ogwsd
+// coordinator (started with -coordinator), leases solve and sweep-cell
+// jobs over the /farm/v1/ job API, materializes its own bit-identical
+// replica of each circuit, and streams results back as NDJSON while
+// heartbeating. Kill a worker mid-job and the coordinator re-queues its
+// work — the reassembled output is byte-identical regardless (see
+// internal/farm).
+//
+// Usage:
+//
+//	ogws-worker -coordinator http://127.0.0.1:8372 [-name lab-3]
+//	            [-workers 0] [-cache 4] [-fail-after-cells 0]
+//
+// -fail-after-cells injects the fault the farm smoke test exercises: the
+// worker dies (exit code 3, heartbeats stop) right after streaming its
+// Nth sweep cell.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/farm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ogws-worker: ")
+	coordinator := flag.String("coordinator", "", "coordinator base URL, e.g. http://127.0.0.1:8372 (required)")
+	name := flag.String("name", "", "worker label shown in the coordinator's /stats (default: assigned id)")
+	workers := flag.Int("workers", 0, "solver goroutines per solve (0 = all cores; results bit-identical at every width)")
+	cache := flag.Int("cache", 4, "local instance-cache capacity in circuits")
+	failAfterCells := flag.Int("fail-after-cells", 0, "fault injection: die right after streaming the Nth sweep cell (0 = never)")
+	flag.Parse()
+	if *coordinator == "" {
+		log.Fatal("-coordinator is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := farm.RunWorker(ctx, farm.WorkerOptions{
+		Coordinator:    *coordinator,
+		Name:           *name,
+		SolverWorkers:  *workers,
+		CacheSize:      *cache,
+		FailAfterCells: *failAfterCells,
+		Logf:           log.Printf,
+	})
+	switch {
+	case errors.Is(err, farm.ErrFaultInjected):
+		log.Print(err)
+		os.Exit(3)
+	case err != nil:
+		log.Fatal(err)
+	}
+}

@@ -7,6 +7,12 @@
 //
 //	ogwsd [-addr 127.0.0.1:8372] [-cache 8] [-max-solves 0]
 //	      [-workers 1] [-addr-file path]
+//	      [-coordinator] [-farm-heartbeat 2s] [-farm-lease-ttl 6s]
+//
+// With -coordinator the server additionally embeds the distributed-sizing
+// coordinator (internal/farm): ogws-worker processes register under
+// /farm/v1/, and solves/sweeps are dispatched to them whenever at least
+// one worker is live — with bit-identical results to local execution.
 //
 // Quick check once it is running:
 //
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/farm"
 	"repro/internal/service"
 )
 
@@ -38,12 +45,24 @@ func main() {
 	cache := flag.Int("cache", 8, "instance-cache capacity in circuits (LRU eviction beyond it)")
 	maxSolves := flag.Int("max-solves", 0, "max concurrent solves/sweeps across all circuits (0 = all cores)")
 	workers := flag.Int("workers", 1, "default solver goroutines per solve when a request leaves workers at 0 (1 = serial, negative = all cores; results bit-identical at every width)")
+	coordinator := flag.Bool("coordinator", false, "embed the distributed-sizing coordinator: serve the /farm/v1/ job API and dispatch work to registered ogws-worker processes")
+	farmHeartbeat := flag.Duration("farm-heartbeat", 2*time.Second, "worker heartbeat cadence in -coordinator mode")
+	farmLeaseTTL := flag.Duration("farm-lease-ttl", 0, "silence budget before a worker is reaped and its jobs re-queued (0 = 3x the heartbeat)")
 	flag.Parse()
 
+	var coord *farm.Coordinator
+	if *coordinator {
+		coord = farm.New(farm.Options{
+			HeartbeatInterval: *farmHeartbeat,
+			LeaseTTL:          *farmLeaseTTL,
+			Logf:              log.Printf,
+		})
+	}
 	srv := service.New(service.Options{
 		CacheSize:           *cache,
 		MaxConcurrentSolves: *maxSolves,
 		DefaultWorkers:      *workers,
+		Farm:                coord,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -57,7 +76,21 @@ func main() {
 		}
 	}
 
-	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	var handler http.Handler = srv
+	if coord != nil {
+		// The farm job API mounts beside the service routes; farm result
+		// streams bypass the service's request-size cap (a long sweep's
+		// NDJSON stream has no natural bound).
+		mux := http.NewServeMux()
+		mux.Handle("/farm/v1/", coord.Handler())
+		mux.Handle("/", srv)
+		handler = mux
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		coord.Start(ctx)
+		log.Printf("coordinator mode: farm job API at /farm/v1/ (heartbeat %s)", *farmHeartbeat)
+	}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/coupling"
+	"repro/internal/rc"
 )
 
 // Grid builds a deterministic width×layers gate/wire mesh for scaling
@@ -83,4 +84,44 @@ func Grid(width, layers int, coupled bool) (*circuit.Graph, *coupling.Set, error
 		return nil, nil, err
 	}
 	return g, cs, nil
+}
+
+// GridInstance wraps a Grid mesh in an Instance together with
+// self-calibrated bounds, the exact construction the committed sweep
+// golden fixture (internal/sweep/testdata/golden_grid.json) was generated
+// from: the delay bound is the uniform-size critical path, and the noise
+// and power bounds leave 40% headroom over the all-minimum-size floor.
+// The construction is deterministic in (width, layers, coupled), so every
+// process that materializes the same mesh — test, coordinator, or farm
+// worker — holds a bit-identical instance; GridKey is the matching cache
+// key. Only the sweep-relevant Instance fields are populated (Spec name,
+// Coupling, Eval): grid meshes skip the netlist pipeline, so callers must
+// use the returned bounds instead of DeriveBounds.
+func GridInstance(width, layers int, coupled bool) (*Instance, Bounds, error) {
+	g, cs, err := Grid(width, layers, coupled)
+	if err != nil {
+		return nil, Bounds{}, err
+	}
+	ev, err := rc.NewEvaluator(g, cs)
+	if err != nil {
+		return nil, Bounds{}, err
+	}
+	ev.SetAllSizes(1)
+	ev.Recompute()
+	a0 := ev.MaxArrival()
+	ev.SetAllSizes(0.1)
+	ev.Recompute()
+	b := Bounds{
+		A0:         a0,
+		NoiseBound: 1.4*ev.NoiseLinear() + cs.ConstantOffset(),
+		PowerBound: 1.4 * ev.TotalCap(),
+	}
+	ev.SetAllSizes(1)
+	ev.Recompute()
+	inst := &Instance{
+		Spec:     Spec{Name: "grid-mesh"},
+		Coupling: cs,
+		Eval:     ev,
+	}
+	return inst, b, nil
 }

@@ -51,6 +51,17 @@ func SpecKey(spec Spec, opt PipelineOptions) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// GridKey is the instance-cache key for a GridInstance mesh: a SHA-256
+// over the mesh shape. The construction has no other inputs (no seed, no
+// pipeline options), so the shape alone identifies the instance bitwise
+// across processes — the property the distributed sizing farm leans on
+// when a worker materializes its own replica of a coordinator's circuit.
+func GridKey(width, layers int, coupled bool) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "grid|width=%d|layers=%d|coupled=%t", width, layers, coupled)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Replica returns a fresh evaluator over the instance's shared circuit
 // graph and coupling set, seeded with the instance evaluator's current
 // sizes (the Init uniform sizes unless the caller mutated them). Solves

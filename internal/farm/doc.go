@@ -1,0 +1,45 @@
+// Package farm turns the single-process sizing service into a
+// coordinator/worker farm: the coordinator (embedded in ogwsd
+// -coordinator) plans solves and bounds-grid sweeps into leased jobs,
+// thin worker processes (cmd/ogws-worker) register over the versioned
+// HTTP job API in internal/farm/api, lease jobs, materialize their own
+// bit-identical replicas of each circuit (keyed by the same content-hash
+// keys the service cache uses), and stream cell results back as NDJSON.
+// A heartbeat keeper reaps silent workers and re-queues their leased jobs
+// in deterministic order.
+//
+// # Determinism contract
+//
+// A distributed sweep must reassemble, byte for byte, into the grid the
+// single-process engine (internal/sweep) would have produced — the same
+// contract every layer below holds (serial vs levelized vs parallel,
+// incremental vs full, streamed vs buffered). The farm earns it
+// structurally rather than by locking:
+//
+//   - Every lease is self-contained: a job carries the exact seed sizes
+//     and dual multipliers its cells must be solved from, so its outcome
+//     is a pure function of the job message — independent of which worker
+//     runs it, when, or how many times.
+//   - The coordinator plans the identical wavefront the local engine
+//     walks (sweep.Plan): the column-0 spine is one chained job (cells
+//     seeded top to bottom), and each row tail becomes a job only after
+//     the spine cell that seeds it is recorded, with that cell's sizes
+//     and dual shipped inside the lease. Cold (and the provably
+//     seed-independent ColdLRS+PrimalOnly) sweeps batch rows as
+//     independent jobs seeded from the instance's initial sizes.
+//   - Workers execute cells through sweep.Options.SolveCell — the same
+//     code path, same core.Options — on evaluators materialized from the
+//     same deterministic pipeline, so equal inputs give equal bits on
+//     every node of one architecture.
+//   - Results are recorded first-wins into the row-major grid. Re-running
+//     a re-queued job reproduces the dead worker's cells bitwise, so
+//     duplicate lines are simply dropped; solver goroutine width is
+//     worker-chosen because results are bit-identical at every width.
+//
+// Worker death is therefore invisible in the output: kill a worker
+// mid-grid and the reaper re-queues its jobs, another worker re-runs
+// them, and the assembled grid still diffs clean against the committed
+// golden fixture (internal/sweep/testdata/golden_grid.json) — enforced by
+// TestFarmDistributedSweepGolden in-process and by the CI farm-smoke job
+// over real TCP with a worker killed mid-sweep.
+package farm

@@ -1,0 +1,69 @@
+package farm
+
+import "sort"
+
+// WorkerStats is one worker's row in the farm section of GET /stats.
+type WorkerStats struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	Live bool   `json:"live"`
+	// JobsCompleted counts result streams that reached their done marker;
+	// CellsSolved counts first-recorded sweep cells (duplicates from
+	// re-runs are not credited); SolvesCompleted counts full solves.
+	JobsCompleted   int64 `json:"jobs_completed"`
+	CellsSolved     int64 `json:"cells_solved"`
+	SolvesCompleted int64 `json:"solves_completed"`
+}
+
+// Stats is the farm section of the service's GET /stats payload.
+type Stats struct {
+	// Workers lists every worker ever registered (reaped ones included,
+	// marked not live), ordered by registration.
+	Workers     []WorkerStats `json:"workers"`
+	LiveWorkers int           `json:"live_workers"`
+	JobsQueued  int           `json:"jobs_queued"`
+	JobsLeased  int           `json:"jobs_leased"`
+	// Lifetime counters: completed jobs, jobs re-queued after a reap,
+	// workers reaped, and runs (distributed solves/sweeps) by outcome.
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsRequeued  int64 `json:"jobs_requeued"`
+	WorkersReaped int64 `json:"workers_reaped"`
+	RunsCompleted int64 `json:"runs_completed"`
+	RunsFailed    int64 `json:"runs_failed"`
+}
+
+// StatsSnapshot returns the coordinator's current counters.
+func (c *Coordinator) StatsSnapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		JobsQueued:    len(c.queue),
+		JobsLeased:    len(c.leases),
+		JobsCompleted: c.jobsCompleted,
+		JobsRequeued:  c.jobsRequeued,
+		WorkersReaped: c.workersReaped,
+		RunsCompleted: c.runsCompleted,
+		RunsFailed:    c.runsFailed,
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStats{
+			ID: w.id, Name: w.name, Live: !w.dead,
+			JobsCompleted:   w.jobsCompleted,
+			CellsSolved:     w.cellsSolved,
+			SolvesCompleted: w.solvesDone,
+		})
+		if !w.dead {
+			st.LiveWorkers++
+		}
+	}
+	// Registration order: ids are "w1", "w2", … so numeric length sorts
+	// before lexicographic within equal lengths.
+	sort.Slice(st.Workers, func(i, j int) bool {
+		a, b := st.Workers[i].ID, st.Workers[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return st
+}

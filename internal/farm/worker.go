@@ -1,0 +1,406 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/farm/api"
+	"repro/internal/netlist"
+	"repro/internal/rc"
+	"repro/internal/sweep"
+)
+
+// WorkerOptions configures one farm worker (cmd/ogws-worker wraps this in
+// a flag surface).
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. http://host:9090.
+	Coordinator string
+	// Name labels the worker in the coordinator's /stats.
+	Name string
+	// SolverWorkers is the per-solve goroutine width; 0 = all cores (a
+	// worker process owns its machine). Results are bit-identical at every
+	// width, so this is purely a throughput knob.
+	SolverWorkers int
+	// CacheSize bounds the worker's local instance cache (default 4):
+	// materialized circuit replicas kept across jobs, keyed by the
+	// coordinator's own cache keys.
+	CacheSize int
+	// FailAfterCells, when positive, injects the fault the farm smoke
+	// exercises: the worker dies (RunWorker returns ErrFaultInjected,
+	// heartbeats stop) immediately after streaming its Nth sweep-cell
+	// result, leaving its current job leased with the stream open.
+	FailAfterCells int
+	// LeaseWait is the long-poll window per lease request (default 10s).
+	LeaseWait time.Duration
+	// Client is the HTTP client (default http.DefaultClient); Logf, when
+	// non-nil, receives worker lifecycle lines.
+	Client *http.Client
+	Logf   func(format string, args ...any)
+}
+
+func (o *WorkerOptions) fill() {
+	if o.SolverWorkers == 0 {
+		o.SolverWorkers = -1 // core's all-cores normalization
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 4
+	}
+	if o.LeaseWait <= 0 {
+		o.LeaseWait = 10 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+}
+
+// ErrFaultInjected is returned by RunWorker when WorkerOptions.
+// FailAfterCells tripped — the deliberate mid-job death the reaping smoke
+// tests rely on.
+var ErrFaultInjected = errors.New("farm: worker fault injected")
+
+// worker is one running worker's state.
+type worker struct {
+	opt   WorkerOptions
+	id    string
+	cells int // sweep-cell lines streamed so far, for fault injection
+
+	// Bounded local instance cache in insertion order; replicas are
+	// bit-identical across processes (the keys hash every materialization
+	// input), so cache hits never change results, only skip the front end.
+	cache map[string]*bench.Instance
+	order []string
+}
+
+func (wk *worker) logf(format string, args ...any) {
+	if wk.opt.Logf != nil {
+		wk.opt.Logf(format, args...)
+	}
+}
+
+// RunWorker registers with the coordinator and processes leased jobs
+// until ctx is cancelled (returns nil), the coordinator reaps or refuses
+// the worker (returns the refusal), or a configured fault trips (returns
+// ErrFaultInjected). Heartbeats run on a side goroutine at the cadence the
+// coordinator assigned at registration.
+func RunWorker(ctx context.Context, opt WorkerOptions) error {
+	opt.fill()
+	wk := &worker{opt: opt, cache: map[string]*bench.Instance{}}
+
+	var reg api.RegisterResponse
+	status, err := wk.postJSON(ctx, "/farm/v1/register", api.RegisterRequest{Version: api.Version, Name: opt.Name}, &reg)
+	if err != nil {
+		return fmt.Errorf("farm worker: register: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("farm worker: register refused (%d)", status)
+	}
+	wk.id = reg.WorkerID
+	wk.logf("farm worker %s: registered with %s (heartbeat %dms, lease TTL %dms)", wk.id, opt.Coordinator, reg.HeartbeatMillis, reg.LeaseTTLMillis)
+
+	// The worker context dies with the parent, with a heartbeat refusal,
+	// or when the worker loop exits (stopping the heartbeat goroutine).
+	wctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	go wk.heartbeatLoop(wctx, cancel, time.Duration(reg.HeartbeatMillis)*time.Millisecond)
+
+	for {
+		if wctx.Err() != nil {
+			break
+		}
+		var lease api.LeaseResponse
+		status, err := wk.postJSON(wctx, "/farm/v1/lease", api.LeaseRequest{
+			WorkerID:   wk.id,
+			WaitMillis: wk.opt.LeaseWait.Milliseconds(),
+		}, &lease)
+		if err != nil {
+			if wctx.Err() != nil {
+				break
+			}
+			return fmt.Errorf("farm worker %s: lease: %w", wk.id, err)
+		}
+		if status == http.StatusGone {
+			return fmt.Errorf("farm worker %s: reaped by coordinator", wk.id)
+		}
+		if status != http.StatusOK || lease.Job == nil {
+			continue // empty long-poll window
+		}
+		err = wk.runJob(wctx, lease.Job, lease.Lease)
+		if errors.Is(err, ErrFaultInjected) {
+			return err
+		}
+		if err != nil && wctx.Err() == nil {
+			// A per-job failure (stale lease after a slow solve, transient
+			// stream error) is not fatal: drop the job and lease fresh work.
+			wk.logf("farm worker %s: job %d: %v", wk.id, lease.Job.ID, err)
+		}
+	}
+	if err := context.Cause(wctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// heartbeatLoop beats until the context dies; a refusal (the coordinator
+// reaped us) cancels the worker with that cause.
+func (wk *worker) heartbeatLoop(ctx context.Context, cancel context.CancelCauseFunc, every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			status, err := wk.postJSON(ctx, "/farm/v1/heartbeat", api.HeartbeatRequest{WorkerID: wk.id}, &api.HeartbeatResponse{})
+			if err != nil && ctx.Err() == nil {
+				wk.logf("farm worker %s: heartbeat: %v", wk.id, err)
+				continue // transient: the TTL, not one miss, decides reaping
+			}
+			if status == http.StatusGone {
+				cancel(fmt.Errorf("farm worker %s: reaped by coordinator", wk.id))
+				return
+			}
+		}
+	}
+}
+
+// postJSON posts a JSON body and decodes a JSON response, returning the
+// HTTP status (error payloads are decoded into the error return).
+func (wk *worker) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wk.opt.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := wk.opt.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	var fe farmError
+	json.NewDecoder(resp.Body).Decode(&fe) //nolint:errcheck // best-effort detail
+	if fe.Error != "" && resp.StatusCode != http.StatusGone {
+		return resp.StatusCode, errors.New(fe.Error)
+	}
+	return resp.StatusCode, nil
+}
+
+// materialize returns the worker's local replica of the coordinator's
+// circuit, building it on a cache miss. Every construction path is
+// deterministic in the spec, so equal keys mean bit-identical instances
+// on every node — the property that lets workers own their replicas
+// instead of shipping evaluator state.
+func (wk *worker) materialize(spec api.CircuitSpec) (*bench.Instance, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if inst, ok := wk.cache[spec.Key]; ok {
+		return inst, nil
+	}
+	var (
+		inst *bench.Instance
+		err  error
+	)
+	switch {
+	case spec.Synthetic != "":
+		s, ok := bench.SpecByName(spec.Synthetic)
+		if !ok {
+			return nil, fmt.Errorf("farm worker: unknown synthetic circuit %q", spec.Synthetic)
+		}
+		inst, err = bench.BuildInstance(s, bench.PipelineOptions{WireLengthScale: spec.WireLengthScale})
+	case spec.Netlist != "":
+		name := spec.Name
+		if name == "" {
+			name = "upload"
+		}
+		var nl *netlist.Netlist
+		if nl, err = netlist.Parse(name, strings.NewReader(spec.Netlist)); err == nil {
+			inst, err = bench.AssembleNetlist(nl, spec.Seed, bench.PipelineOptions{WireLengthScale: spec.WireLengthScale})
+		}
+	default:
+		inst, _, err = bench.GridInstance(spec.Grid.Width, spec.Grid.Layers, spec.Grid.Coupled)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for len(wk.order) >= wk.opt.CacheSize {
+		delete(wk.cache, wk.order[0])
+		wk.order = wk.order[1:]
+	}
+	wk.cache[spec.Key] = inst
+	wk.order = append(wk.order, spec.Key)
+	return inst, nil
+}
+
+// runJob executes one leased job, streaming its NDJSON result lines to
+// the coordinator as they are produced. The stream is the job's only
+// output channel: a terminal error is reported in-band (it fails the run
+// deterministically), and a missing done marker tells the coordinator the
+// worker died mid-job.
+func (wk *worker) runJob(ctx context.Context, job *api.Job, lease string) error {
+	pr, pw := io.Pipe()
+	url := fmt.Sprintf("%s/farm/v1/result?job=%d&lease=%s", wk.opt.Coordinator, job.ID, lease)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, pr)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+
+	execErr := make(chan error, 1)
+	go func() {
+		err := wk.execute(job, pw)
+		if err != nil && !errors.Is(err, ErrFaultInjected) {
+			// Deterministic failure: report in-band so the coordinator fails
+			// the run instead of re-queueing a job that would fail again.
+			json.NewEncoder(pw).Encode(api.ResultLine{Error: err.Error()}) //nolint:errcheck // pipe broken: POST error surfaces below
+		} else if err == nil {
+			err = json.NewEncoder(pw).Encode(api.ResultLine{Done: true})
+		}
+		pw.Close()
+		execErr <- err
+	}()
+
+	resp, doErr := wk.opt.Client.Do(req)
+	err = <-execErr
+	if doErr != nil {
+		return doErr
+	}
+	defer resp.Body.Close()
+	if errors.Is(err, ErrFaultInjected) {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return err
+	case http.StatusConflict:
+		return fmt.Errorf("farm worker %s: lease for job %d went stale (reaped and re-queued)", wk.id, job.ID)
+	case http.StatusGone:
+		return fmt.Errorf("farm worker %s: run of job %d is dead, dropping results", wk.id, job.ID)
+	default:
+		return fmt.Errorf("farm worker %s: result stream for job %d refused (%d)", wk.id, job.ID, resp.StatusCode)
+	}
+}
+
+// execute runs the job's solve or sweep batch, writing result lines to w.
+func (wk *worker) execute(job *api.Job, w io.Writer) error {
+	inst, err := wk.materialize(job.Circuit)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	switch {
+	case job.Sweep != nil:
+		return wk.executeSweep(inst, job.Sweep, enc)
+	case job.Solve != nil:
+		return wk.executeSolve(inst, job.Solve, enc)
+	default:
+		return fmt.Errorf("farm worker: job %d carries no work", job.ID)
+	}
+}
+
+// executeSweep solves the batch through sweep.Options.SolveCell — the
+// exact code path the single-process engine uses, so equal job inputs
+// yield equal bits. Chained batches walk one evaluator with the shipped
+// seed threading cell to cell; independent batches give every cell a
+// fresh evaluator seeded from the shipped sizes.
+func (wk *worker) executeSweep(inst *bench.Instance, sj *api.SweepJob, enc *json.Encoder) error {
+	opt := sweep.Options{
+		MaxIterations:     sj.MaxIterations,
+		Epsilon:           sj.Epsilon,
+		Workers:           wk.opt.SolverWorkers,
+		PrimalOnly:        sj.PrimalOnly,
+		ColdLRS:           sj.ColdLRS,
+		FullPasses:        sj.FullPasses,
+		ActiveSetTol:      sj.ActiveSetTol,
+		CutoverHysteresis: sj.CutoverHysteresis,
+	}
+	g, cs := inst.Eval.Graph(), inst.Eval.Couplings()
+	seed, dual := sj.Seed, sj.Dual
+	var ev *rc.Evaluator
+	var err error
+	for _, cell := range sj.Cells {
+		if ev == nil || !sj.Chain {
+			if ev, err = rc.NewEvaluator(g, cs); err != nil {
+				return err
+			}
+		}
+		res, d, sec, err := opt.SolveCell(ev, cell.Bounds, seed, dual)
+		if err != nil {
+			return fmt.Errorf("cell (%d,%d): %w", cell.Row, cell.Col, err)
+		}
+		line := api.ResultLine{Cell: &api.CellResult{
+			Row: cell.Row, Col: cell.Col, Result: res, SolveSec: sec,
+		}}
+		if sj.ReturnDual {
+			line.Cell.Dual = d
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		wk.cells++
+		if wk.opt.FailAfterCells > 0 && wk.cells >= wk.opt.FailAfterCells {
+			wk.logf("farm worker %s: fault injected after %d cells, dying mid-job", wk.id, wk.cells)
+			return ErrFaultInjected
+		}
+		if sj.Chain {
+			seed, dual = res.X, d
+		}
+	}
+	return nil
+}
+
+// executeSolve runs one full solve, mirroring the service's local path
+// (replica evaluator, core solver, RunFromDual) knob for knob.
+func (wk *worker) executeSolve(inst *bench.Instance, sj *api.SolveJob, enc *json.Encoder) error {
+	opt := core.DefaultOptions(sj.Bounds.A0, sj.Bounds.NoiseBound, sj.Bounds.PowerBound)
+	if sj.MaxIterations > 0 {
+		opt.MaxIterations = sj.MaxIterations
+	}
+	if sj.Epsilon > 0 {
+		opt.Epsilon = sj.Epsilon
+	}
+	opt.Workers = wk.opt.SolverWorkers
+	opt.Incremental = !sj.Full
+	opt.WarmStart = sj.Warm
+	replica, err := inst.Replica()
+	if err != nil {
+		return err
+	}
+	sol, err := core.NewSolver(replica, opt)
+	if err != nil {
+		return err
+	}
+	defer sol.Close()
+	start := time.Now()
+	res, err := sol.RunFromDual(sj.Seed, sj.Dual)
+	if err != nil {
+		return err
+	}
+	return enc.Encode(api.ResultLine{Solve: &api.SolveResult{
+		Result:          res,
+		Dual:            sol.DualState(),
+		Workers:         sol.Workers(),
+		SolveSec:        time.Since(start).Seconds(),
+		Eval:            replica.Stats(),
+		HysteresisTrips: sol.HysteresisTrips(),
+		RevertedSweeps:  sol.RevertedSweeps(),
+	}})
+}

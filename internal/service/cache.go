@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/farm/api"
 )
 
 // savedResult is one named solve outcome kept for warm-start reuse: the
@@ -31,6 +32,10 @@ type entry struct {
 	name   string
 	inst   *bench.Instance
 	bounds bench.Bounds
+	// farmSpec is the circuit's wire form for farm dispatch: the spec a
+	// worker materializes its own bit-identical replica from, captured at
+	// registration so the coordinator stays circuit-stateless.
+	farmSpec api.CircuitSpec
 
 	mu sync.Mutex // serializes solves/sweeps on this circuit
 
@@ -115,8 +120,10 @@ func (c *instanceCache) get(key string) *entry {
 
 // getOrBuild returns the entry for key, constructing it with build on a
 // miss. Concurrent calls for one key run build once and share the result;
-// the cache lock is never held across build.
-func (c *instanceCache) getOrBuild(key, name string, build func() (*bench.Instance, error)) (e *entry, hit bool, err error) {
+// the cache lock is never held across build. A build may return explicit
+// bounds (grid meshes carry their own calibration); nil falls back to
+// bench.DeriveBounds.
+func (c *instanceCache) getOrBuild(key, name string, farmSpec api.CircuitSpec, build func() (*bench.Instance, *bench.Bounds, error)) (e *entry, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
@@ -142,7 +149,7 @@ func (c *instanceCache) getOrBuild(key, name string, build func() (*bench.Instan
 	c.misses++
 	c.mu.Unlock()
 
-	inst, err := build()
+	inst, bounds, err := build()
 	c.mu.Lock()
 	delete(c.building, key)
 	if err != nil {
@@ -151,12 +158,17 @@ func (c *instanceCache) getOrBuild(key, name string, build func() (*bench.Instan
 		close(bc.done)
 		return nil, false, err
 	}
+	if bounds == nil {
+		b := bench.DeriveBounds(inst)
+		bounds = &b
+	}
 	bc.e = &entry{
-		key:     key,
-		name:    name,
-		inst:    inst,
-		bounds:  bench.DeriveBounds(inst),
-		results: map[string]*savedResult{},
+		key:      key,
+		name:     name,
+		inst:     inst,
+		bounds:   *bounds,
+		farmSpec: farmSpec,
+		results:  map[string]*savedResult{},
 	}
 	c.byKey[key] = c.lru.PushFront(bc.e)
 	for c.lru.Len() > c.max {

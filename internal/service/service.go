@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/farm/api"
 	"repro/internal/netlist"
 )
 
@@ -37,6 +39,12 @@ type Options struct {
 	// MaxRequestBytes caps request bodies (netlist uploads dominate);
 	// default 16 MiB.
 	MaxRequestBytes int64
+	// Farm, when non-nil, is the embedded distributed-sizing coordinator
+	// (ogwsd -coordinator). Solves and sweeps are dispatched to the worker
+	// fleet whenever at least one worker is live, and run locally
+	// otherwise — with bit-identical results either way, which is the
+	// farm's determinism contract (see internal/farm).
+	Farm *farm.Coordinator
 }
 
 func (o *Options) fill() {
@@ -155,10 +163,21 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// gridRegister selects a bench.GridInstance mesh — the deterministic
+// coupled grid the sweep engine's golden fixture is generated from, and
+// the circuit the farm smoke distributes. Grid meshes skip the netlist
+// pipeline; their bounds are the mesh's own calibration (uniform-size
+// critical path, 40% headroom), not bench.DeriveBounds.
+type gridRegister struct {
+	Width   int  `json:"width"`
+	Layers  int  `json:"layers"`
+	Coupled bool `json:"coupled,omitempty"`
+}
+
 // registerRequest uploads one circuit. Exactly one of synthetic (an
-// ISCAS85 spec name, e.g. "c432") or netlist (ISCAS85 .bench text) must be
-// set; seed and wire_length_scale feed the deterministic geometry pipeline
-// (see bench.PipelineOptions).
+// ISCAS85 spec name, e.g. "c432"), netlist (ISCAS85 .bench text), or grid
+// (a synthetic mesh) must be set; seed and wire_length_scale feed the
+// deterministic geometry pipeline (see bench.PipelineOptions).
 type registerRequest struct {
 	// Synthetic names a built-in ISCAS85-class spec (bench.SpecByName).
 	Synthetic string `json:"synthetic,omitempty"`
@@ -177,6 +196,8 @@ type registerRequest struct {
 	// WireLengthScale multiplies the synthetic routed wire lengths
 	// (default 1; 8 models global interconnect). Part of the cache key.
 	WireLengthScale float64 `json:"wire_length_scale,omitempty"`
+	// Grid registers a synthetic grid mesh instead of a netlist circuit.
+	Grid *gridRegister `json:"grid,omitempty"`
 }
 
 // registerResponse describes the cached instance a registration resolved
@@ -201,8 +222,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), "bad register request: %v", err)
 		return
 	}
-	if (req.Synthetic == "") == (req.Netlist == "") {
-		writeError(w, http.StatusBadRequest, "register: exactly one of synthetic or netlist must be set")
+	sources := 0
+	for _, set := range []bool{req.Synthetic != "", req.Netlist != "", req.Grid != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		writeError(w, http.StatusBadRequest, "register: exactly one of synthetic, netlist, or grid must be set")
 		return
 	}
 	if req.WireLengthScale < 0 {
@@ -211,47 +238,76 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	pipe := bench.PipelineOptions{WireLengthScale: req.WireLengthScale}
 
+	// farmSpec is the circuit's wire form: everything a farm worker needs
+	// to materialize a bit-identical replica under the same cache key.
 	var (
 		key, name string
-		build     func() (*bench.Instance, error)
+		farmSpec  api.CircuitSpec
+		build     func() (*bench.Instance, *bench.Bounds, error)
 	)
-	if req.Synthetic != "" {
+	switch {
+	case req.Synthetic != "":
 		spec, ok := bench.SpecByName(req.Synthetic)
 		if !ok {
 			writeError(w, http.StatusBadRequest, "register: unknown synthetic circuit %q", req.Synthetic)
 			return
 		}
 		key, name = bench.SpecKey(spec, pipe), spec.Name
-		build = func() (*bench.Instance, error) { return bench.BuildInstance(spec, pipe) }
-	} else {
+		farmSpec = api.CircuitSpec{Key: key, Synthetic: req.Synthetic, WireLengthScale: req.WireLengthScale}
+		build = func() (*bench.Instance, *bench.Bounds, error) {
+			inst, err := bench.BuildInstance(spec, pipe)
+			return inst, nil, err
+		}
+	case req.Netlist != "":
 		name = req.Name
 		if name == "" {
 			name = "upload"
 		}
 		key = bench.NetlistKey([]byte(req.Netlist), req.Seed, pipe)
-		build = func() (*bench.Instance, error) {
+		farmSpec = api.CircuitSpec{Key: key, Netlist: req.Netlist, Name: name, Seed: req.Seed, WireLengthScale: req.WireLengthScale}
+		build = func() (*bench.Instance, *bench.Bounds, error) {
 			nl, err := netlist.Parse(name, strings.NewReader(req.Netlist))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return bench.AssembleNetlist(nl, req.Seed, pipe)
+			inst, err := bench.AssembleNetlist(nl, req.Seed, pipe)
+			return inst, nil, err
+		}
+	default:
+		g := *req.Grid
+		key, name = bench.GridKey(g.Width, g.Layers, g.Coupled), "grid-mesh"
+		farmSpec = api.CircuitSpec{Key: key, Grid: &api.GridSpec{Width: g.Width, Layers: g.Layers, Coupled: g.Coupled}}
+		build = func() (*bench.Instance, *bench.Bounds, error) {
+			inst, b, err := bench.GridInstance(g.Width, g.Layers, g.Coupled)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Grid meshes carry their own calibration bounds: DeriveBounds
+			// assumes the netlist pipeline's fields, which a mesh skips.
+			return inst, &b, nil
 		}
 	}
-	e, hit, err := s.cache.getOrBuild(key, name, build)
+	e, hit, err := s.cache.getOrBuild(key, name, farmSpec, build)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "register %s: %v", name, err)
 		return
 	}
-	st := e.inst.Netlist.Stats()
-	writeJSON(w, http.StatusOK, registerResponse{
-		Key:        e.key,
-		Circuit:    e.name,
-		Cached:     hit,
-		Gates:      st.Gates,
-		Wires:      st.Connections + st.Outputs,
-		Components: st.Gates + st.Connections + st.Outputs,
-		Bounds:     e.bounds,
-	})
+	resp := registerResponse{
+		Key:     e.key,
+		Circuit: e.name,
+		Cached:  hit,
+		Bounds:  e.bounds,
+	}
+	if e.inst.Netlist != nil {
+		st := e.inst.Netlist.Stats()
+		resp.Gates = st.Gates
+		resp.Wires = st.Connections + st.Outputs
+		resp.Components = st.Gates + st.Connections + st.Outputs
+	} else {
+		// Grid meshes have no netlist; report evaluator node count instead.
+		resp.Components = e.inst.Eval.Graph().NumNodes()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // circuitInfo is one GET /circuits row.
@@ -422,6 +478,42 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		warm = false // paper-faithful S1 reset: sizes reset to the lower bounds
 	}
 
+	// Farm dispatch: with live workers, ship the fully resolved solve (the
+	// exact bounds, seed, dual, and knobs the local path below would use)
+	// to the fleet. The request's workers knob is advisory there — each
+	// worker picks its own width — which is free, because results are
+	// bit-identical at every width. Falls through to the local path when
+	// no workers are live.
+	if s.farmReady() {
+		fr, err := s.opt.Farm.Solve(r.Context(), e.farmSpec, api.SolveJob{
+			Bounds:        bounds,
+			MaxIterations: req.MaxIterations,
+			Epsilon:       req.Epsilon,
+			Full:          req.Full,
+			Warm:          warm,
+			Seed:          seed,
+			Dual:          dual,
+		})
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
+			return
+		}
+		if req.SaveAs != "" {
+			e.saveResult(req.SaveAs, &savedResult{Result: fr.Result, Dual: fr.Dual}, s.opt.MaxSavedResults)
+		}
+		s.stats.addSolve(fr.SolveSec, fr.Eval, fr.HysteresisTrips, fr.RevertedSweeps)
+		writeJSON(w, http.StatusOK, solveResponse{
+			Key:      e.key,
+			Circuit:  e.name,
+			WarmFrom: req.WarmFrom,
+			SavedAs:  req.SaveAs,
+			Workers:  fr.Workers,
+			SolveSec: fr.SolveSec,
+			Result:   fr.Result,
+		})
+		return
+	}
+
 	opt := s.solverOptions(bounds, req.MaxIterations, req.Epsilon, req.Workers, req.Full, warm)
 	replica, err := e.inst.Replica()
 	if err != nil {
@@ -490,9 +582,21 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// farmReady reports whether requests should dispatch to the farm: a
+// coordinator is attached and at least one worker is live. With no live
+// workers the service solves locally, exactly as without a coordinator.
+func (s *Server) farmReady() bool {
+	return s.opt.Farm != nil && s.opt.Farm.LiveWorkers() > 0
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	entries, hits, misses, evictions := s.cache.snapshot()
-	writeJSON(w, http.StatusOK, s.stats.snapshot(len(entries), hits, misses, evictions))
+	st := s.stats.snapshot(len(entries), hits, misses, evictions)
+	if s.opt.Farm != nil {
+		fs := s.opt.Farm.StatsSnapshot()
+		st.Farm = &fs
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,7 @@ package service
 import (
 	"sync"
 
+	"repro/internal/farm"
 	"repro/internal/rc"
 )
 
@@ -89,6 +90,11 @@ type Stats struct {
 	NodeVisits      int64        `json:"node_visits"`
 	HysteresisTrips int64        `json:"hysteresis_trips"`
 	RevertedSweeps  int64        `json:"reverted_sweeps"`
+	// Farm, present only in -coordinator mode, reports the worker fleet:
+	// per-worker job/cell counters plus reap and re-queue totals. Work a
+	// worker performed remotely is folded into the counters above when its
+	// results land (a remote solve's Eval counters count exactly once).
+	Farm *farm.Stats `json:"farm,omitempty"`
 }
 
 func (st *serverStats) snapshot(instances int, hits, misses, evictions int64) Stats {

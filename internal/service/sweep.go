@@ -124,9 +124,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.sem }()
 
+	// runGrid solves the grid either on the farm (live workers: the
+	// coordinator leases the wavefront out and reassembles the identical
+	// row-major grid) or locally — the distributed determinism contract is
+	// exactly that this choice is invisible in the bytes.
+	runGrid := func() (*sweep.Result, error) {
+		if s.farmReady() {
+			return s.opt.Farm.Sweep(r.Context(), e.farmSpec, e.inst, opt)
+		}
+		return sweep.Run(e.inst, opt)
+	}
+
 	if !req.Stream {
 		start := time.Now()
-		res, err := sweep.Run(e.inst, opt)
+		res, err := runGrid()
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "sweep: %v", err)
 			return
@@ -161,7 +172,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	opt.OnCell = func(c *sweep.Cell) { writeLine(c) }
 	start := time.Now()
-	res, err := sweep.Run(e.inst, opt)
+	res, err := runGrid()
 	if err != nil {
 		wmu.Lock()
 		clean := !wrote

@@ -172,11 +172,17 @@ func cellBounds(base bench.Bounds, off, fd, fn float64) (bench.Bounds, error) {
 	return b, nil
 }
 
-// solveCell runs one cell: a fresh solver over the worker's evaluator at
+// SolveCell runs one cell: a fresh solver over the given evaluator at
 // the cell's bounds, seeded with the given sizes and (unless PrimalOnly)
 // the given dual state. It returns the cell's own final dual state for
-// the next cell in the seeding chain.
-func (o Options) solveCell(ev *rc.Evaluator, b bench.Bounds, seed []float64, dual *core.DualState) (*core.Result, *core.DualState, float64, error) {
+// the next cell in the seeding chain (nil under PrimalOnly). Exported so
+// farm workers (internal/farm) execute leased sweep cells through the
+// exact code path the single-process engine uses — the distributed
+// determinism contract holds by construction, not by parallel
+// implementation. Only the solver knobs of o are read (MaxIterations,
+// Epsilon, Workers, PrimalOnly, ColdLRS, FullPasses, ActiveSetTol,
+// CutoverHysteresis); the grid axes are irrelevant here.
+func (o Options) SolveCell(ev *rc.Evaluator, b bench.Bounds, seed []float64, dual *core.DualState) (*core.Result, *core.DualState, float64, error) {
 	sol, err := core.NewSolver(ev, o.solverOptions(b))
 	if err != nil {
 		return nil, nil, 0, err
@@ -197,20 +203,17 @@ func (o Options) solveCell(ev *rc.Evaluator, b bench.Bounds, seed []float64, dua
 	return res, sol.DualState(), sec, nil
 }
 
-// Run sweeps the bounds grid over one prebuilt instance. The instance is
-// shared read-only — every cell solves on its own evaluator replica, so
-// the instance's evaluator state (the Init sizes) is left untouched and
-// one instance can back any number of sweeps. Results come back in
-// row-major grid order with the Pareto frontier attached; on any cell
-// error the lowest-index error is returned after in-flight rows finish.
-func Run(inst *bench.Instance, opt Options) (*Result, error) {
-	opt.fill()
+// plan builds the unsolved grid skeleton for filled options: every cell
+// carries its axis factors and resolved bounds, seed metadata initialized
+// to the unseeded (-1, -1) marker. The second return is the shared seed
+// for unseeded cells: the instance's initial sizes (what
+// bench.RunInstance solves from).
+func plan(inst *bench.Instance, opt Options) (*Result, []float64, error) {
 	base := bench.DeriveBounds(inst)
 	if opt.Bounds != nil {
 		base = *opt.Bounds
 	}
 	off := inst.Coupling.ConstantOffset()
-	g, cs := inst.Eval.Graph(), inst.Eval.Couplings()
 	rows, cols := len(opt.DelayScale), len(opt.NoiseScale)
 	res := &Result{
 		Circuit:    inst.Spec.Name,
@@ -224,7 +227,7 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 		for j, fn := range opt.NoiseScale {
 			b, err := cellBounds(base, off, fd, fn)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			c := res.At(i, j)
 			c.Row, c.Col = i, j
@@ -233,9 +236,35 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 			c.SeedRow, c.SeedCol = -1, -1
 		}
 	}
-	// The shared seed for unseeded cells: the instance's initial sizes
-	// (what bench.RunInstance solves from).
-	initX := append([]float64(nil), inst.Eval.X...)
+	return res, append([]float64(nil), inst.Eval.X...), nil
+}
+
+// Plan is the exported planning half of Run: it validates the axes and
+// returns the unsolved grid skeleton (per-cell bounds, axis factors,
+// unseeded markers) plus the shared initial-size seed, without solving
+// anything. The farm coordinator plans a distributed sweep with exactly
+// this skeleton, leases the cells out, and fills the same row-major slots
+// the local engine would — so the reassembled grid is the identical
+// Result structure either way.
+func Plan(inst *bench.Instance, opt Options) (*Result, []float64, error) {
+	opt.fill()
+	return plan(inst, opt)
+}
+
+// Run sweeps the bounds grid over one prebuilt instance. The instance is
+// shared read-only — every cell solves on its own evaluator replica, so
+// the instance's evaluator state (the Init sizes) is left untouched and
+// one instance can back any number of sweeps. Results come back in
+// row-major grid order with the Pareto frontier attached; on any cell
+// error the lowest-index error is returned after in-flight rows finish.
+func Run(inst *bench.Instance, opt Options) (*Result, error) {
+	opt.fill()
+	res, initX, err := plan(inst, opt)
+	if err != nil {
+		return nil, err
+	}
+	g, cs := inst.Eval.Graph(), inst.Eval.Couplings()
+	rows, cols := res.Rows, res.Cols
 
 	if opt.Cold {
 		errs := make([]error, len(res.Cells))
@@ -250,7 +279,7 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 				return
 			}
 			c := &res.Cells[k]
-			c.Result, _, c.SolveSec, errs[k] = opt.solveCell(ev, c.Bounds, initX, nil)
+			c.Result, _, c.SolveSec, errs[k] = opt.SolveCell(ev, c.Bounds, initX, nil)
 			if opt.OnCell != nil && errs[k] == nil {
 				opt.OnCell(c)
 			}
@@ -281,7 +310,7 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 		if i > 0 {
 			c.SeedRow, c.SeedCol = i-1, 0
 		}
-		if c.Result, dual, c.SolveSec, err = opt.solveCell(spine, c.Bounds, seed, dual); err != nil {
+		if c.Result, dual, c.SolveSec, err = opt.SolveCell(spine, c.Bounds, seed, dual); err != nil {
 			return nil, err
 		}
 		if opt.OnCell != nil {
@@ -308,7 +337,7 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 				}
 				c := res.At(i, j)
 				c.SeedRow, c.SeedCol = i, j-1
-				if c.Result, rowD, c.SolveSec, errs[i] = opt.solveCell(ev, c.Bounds, rowSeed, rowD); errs[i] != nil {
+				if c.Result, rowD, c.SolveSec, errs[i] = opt.SolveCell(ev, c.Bounds, rowSeed, rowD); errs[i] != nil {
 					return
 				}
 				if opt.OnCell != nil {

@@ -13,7 +13,6 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/rc"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden sweep fixture under testdata/")
@@ -26,33 +25,14 @@ const goldenArch = "amd64"
 // testInstance wraps a deterministic coupled mesh in a bench.Instance —
 // the sweep engine touches only the evaluator, the coupling set, and the
 // spec name, so the heavy pipeline fields can stay empty as long as the
-// base bounds are passed explicitly.
+// base bounds are passed explicitly. bench.GridInstance is the exact
+// construction this test suite's golden fixture was generated from; the
+// farm smoke re-materializes the same mesh in worker processes by key.
 func testInstance(t testing.TB, width, layers int) (*bench.Instance, bench.Bounds) {
 	t.Helper()
-	g, cs, err := bench.Grid(width, layers, true)
+	inst, b, err := bench.GridInstance(width, layers, true)
 	if err != nil {
 		t.Fatal(err)
-	}
-	ev, err := rc.NewEvaluator(g, cs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ev.SetAllSizes(1)
-	ev.Recompute()
-	a0 := ev.MaxArrival()
-	ev.SetAllSizes(0.1)
-	ev.Recompute()
-	b := bench.Bounds{
-		A0:         a0,
-		NoiseBound: 1.4*ev.NoiseLinear() + cs.ConstantOffset(),
-		PowerBound: 1.4 * ev.TotalCap(),
-	}
-	ev.SetAllSizes(1)
-	ev.Recompute()
-	inst := &bench.Instance{
-		Spec:     bench.Spec{Name: "grid-mesh"},
-		Coupling: cs,
-		Eval:     ev,
 	}
 	return inst, b
 }

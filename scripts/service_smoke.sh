@@ -10,17 +10,30 @@ set -eu
 tmp="$(mktemp -d)"
 pid=""
 cleanup() {
+	status=$?
 	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	if [ "$status" -ne 0 ] && [ -s "$tmp/ogwsd.log" ]; then
+		echo "service_smoke: server log:" >&2
+		cat "$tmp/ogwsd.log" >&2
+	fi
 	rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
 
 go build -o "$tmp/ogwsd" ./cmd/ogwsd
-"$tmp/ogwsd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" &
+
+# Port 0 lets the kernel assign a free port — no pick-then-bind race —
+# and -addr-file is how we learn which one it chose.
+"$tmp/ogwsd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" >"$tmp/ogwsd.log" 2>&1 &
 pid=$!
 
 i=0
 while [ ! -s "$tmp/addr" ]; do
+	# Fail fast if the server died instead of burning the whole window.
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "service_smoke: ogwsd exited before binding its port" >&2
+		exit 1
+	fi
 	i=$((i + 1))
 	if [ "$i" -gt 100 ]; then
 		echo "service_smoke: ogwsd did not write its address in time" >&2
