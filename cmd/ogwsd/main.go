@@ -6,13 +6,19 @@
 // Usage:
 //
 //	ogwsd [-addr 127.0.0.1:8372] [-cache 8] [-max-solves 0]
-//	      [-workers 1] [-addr-file path]
+//	      [-workers 1] [-addr-file path] [-data dir]
 //	      [-coordinator] [-farm-heartbeat 2s] [-farm-lease-ttl 6s]
 //
 // With -coordinator the server additionally embeds the distributed-sizing
 // coordinator (internal/farm): ogws-worker processes register under
 // /farm/v1/, and solves/sweeps are dispatched to them whenever at least
 // one worker is live — with bit-identical results to local execution.
+//
+// With -data the server opens a crash-safe durable result store
+// (internal/store) in the given directory: registered circuits, save_as
+// results, and finished solves survive restarts (warm_from chains
+// reload on boot), and a repeated solve is answered from the store
+// without re-running. Persistence never changes solved bits.
 //
 // Quick check once it is running:
 //
@@ -35,6 +41,7 @@ import (
 
 	"repro/internal/farm"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -45,6 +52,7 @@ func main() {
 	cache := flag.Int("cache", 8, "instance-cache capacity in circuits (LRU eviction beyond it)")
 	maxSolves := flag.Int("max-solves", 0, "max concurrent solves/sweeps across all circuits (0 = all cores)")
 	workers := flag.Int("workers", 1, "default solver goroutines per solve when a request leaves workers at 0 (1 = serial, negative = all cores; results bit-identical at every width)")
+	dataDir := flag.String("data", "", "durable result store directory: persist circuits, saved results, and solves across restarts (default: in-memory only)")
 	coordinator := flag.Bool("coordinator", false, "embed the distributed-sizing coordinator: serve the /farm/v1/ job API and dispatch work to registered ogws-worker processes")
 	farmHeartbeat := flag.Duration("farm-heartbeat", 2*time.Second, "worker heartbeat cadence in -coordinator mode")
 	farmLeaseTTL := flag.Duration("farm-lease-ttl", 0, "silence budget before a worker is reaped and its jobs re-queued (0 = 3x the heartbeat)")
@@ -58,11 +66,22 @@ func main() {
 			Logf:              log.Printf,
 		})
 	}
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{})
+		if err != nil {
+			log.Fatalf("open store %s: %v", *dataDir, err)
+		}
+		defer st.Close()
+		log.Printf("durable store at %s (%d records)", *dataDir, st.Len())
+	}
 	srv := service.New(service.Options{
 		CacheSize:           *cache,
 		MaxConcurrentSolves: *maxSolves,
 		DefaultWorkers:      *workers,
 		Farm:                coord,
+		Store:               st,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -123,6 +123,13 @@ type Options struct {
 	AutoScale bool
 	// KeepHistory records per-iteration statistics in the result.
 	KeepHistory bool
+	// OnIteration, when non-nil, is called once per OGWS iteration with
+	// the iteration's statistics, constraint violations, and the
+	// evaluation-work delta since the previous iteration. The hook runs
+	// on the solving goroutine between A3 and A4 and must not call back
+	// into the Solver; it observes the trajectory without perturbing it —
+	// results are bit-identical with or without a hook installed.
+	OnIteration func(IterProgress)
 }
 
 // DefaultCutoverHysteresis is the default Options.CutoverHysteresis,
@@ -220,6 +227,26 @@ type IterStats struct {
 	Dual       float64 // L(x) at the LRS minimizer
 	Gap        float64 // (Area − Dual)/Area
 	LRSSweeps  int
+}
+
+// IterProgress is the per-iteration payload delivered to
+// Options.OnIteration: the IterStats the history would record, plus the
+// constraint violations (positive = violated, in each constraint's own
+// unit), the relative primal feasibility the convergence check uses, and
+// the evaluation-work counters spent by this iteration alone.
+type IterProgress struct {
+	IterStats
+	// DelayViolation is max(0, maxArrival − A0) in ps; Power and Noise
+	// are the raw bound excesses in fF (0 when the bound is disabled).
+	DelayViolation float64
+	PowerViolation float64
+	NoiseViolation float64
+	// Feasibility is the relative primal feasibility measure compared
+	// against Epsilon by the A7 stopping rule.
+	Feasibility float64
+	// Eval is the evaluation work performed by this iteration (a
+	// Stats-snapshot delta, not the cumulative counters).
+	Eval rc.EvalStats
 }
 
 // Result is the outcome of Solver.Run.
@@ -1055,6 +1082,10 @@ func (s *Solver) Run() (*Result, error) {
 	damp := 1.0        // RPROP-style oscillation damping for adaptive steps
 	prevFeasible := -1 // -1 unknown, else 0/1
 	var area, gap, dual float64
+	var prevEval rc.EvalStats
+	if s.opt.OnIteration != nil {
+		prevEval = ev.Stats()
+	}
 	for k = 1; k <= s.opt.MaxIterations; k++ {
 		// A2: merged node multipliers.
 		s.pool.run(0, g.NumNodes(), func(_, lo, hi int) {
@@ -1119,12 +1150,27 @@ func (s *Solver) Run() (*Result, error) {
 		prevFeasible = nowFeasible
 
 		rho := s.opt.Step(k)
-		if s.opt.KeepHistory {
-			s.history = append(s.history, IterStats{
+		if s.opt.KeepHistory || s.opt.OnIteration != nil {
+			st := IterStats{
 				K: k, Rho: rho, Area: area, DelayPs: ev.MaxArrival(),
 				PowerCapFF: ev.TotalCap(), NoiseLinFF: ev.NoiseLinear(),
 				Dual: dual, Gap: gap, LRSSweeps: sw,
-			})
+			}
+			if s.opt.KeepHistory {
+				s.history = append(s.history, st)
+			}
+			if s.opt.OnIteration != nil {
+				cur := ev.Stats()
+				s.opt.OnIteration(IterProgress{
+					IterStats:      st,
+					DelayViolation: math.Max(0, ev.MaxArrival()-s.opt.A0),
+					PowerViolation: math.Max(0, powerViol),
+					NoiseViolation: math.Max(0, noiseViol),
+					Feasibility:    feas,
+					Eval:           cur.Sub(prevEval),
+				})
+				prevEval = cur
+			}
 		}
 		// A7: stop when a certified ε-optimal feasible solution exists —
 		// either the current iterate closes the gap (the paper's check,

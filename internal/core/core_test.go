@@ -546,3 +546,91 @@ func TestBoundsAccessor(t *testing.T) {
 		t.Errorf("P' = %g, want 100", pp)
 	}
 }
+
+// TestOnIterationHook pins the progress hook's contract: one call per
+// iteration, payloads mirroring the recorded history, per-iteration
+// evaluation-work deltas that sum to the cumulative counters, and — the
+// determinism clause — a solve with the hook installed is bit-identical
+// to one without.
+func TestOnIterationHook(t *testing.T) {
+	g, _, cs := coupledVictim(t)
+
+	run := func(hook bool) (*Result, []IterProgress) {
+		ev := newEval(t, g, cs)
+		opt := DefaultOptions(3.0, 14, 0)
+		opt.KeepHistory = true
+		var got []IterProgress
+		if hook {
+			opt.OnIteration = func(p IterProgress) { got = append(got, p) }
+		}
+		sol, err := NewSolver(ev, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sol.Close()
+		res, err := sol.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, got
+	}
+
+	plain, _ := run(false)
+	hooked, prog := run(true)
+
+	// Determinism: the hook must not perturb a single bit.
+	if len(plain.X) != len(hooked.X) {
+		t.Fatalf("X length differs: %d vs %d", len(plain.X), len(hooked.X))
+	}
+	for i := range plain.X {
+		if plain.X[i] != hooked.X[i] {
+			t.Fatalf("X[%d] differs with hook installed: %g vs %g", i, plain.X[i], hooked.X[i])
+		}
+	}
+	if plain.Iterations != hooked.Iterations || plain.Gap != hooked.Gap {
+		t.Fatalf("trajectory differs: %d/%g vs %d/%g",
+			plain.Iterations, plain.Gap, hooked.Iterations, hooked.Gap)
+	}
+
+	// One call per iteration, mirroring history exactly.
+	if len(prog) != hooked.Iterations || len(prog) != len(hooked.History) {
+		t.Fatalf("hook fired %d times for %d iterations (%d history entries)",
+			len(prog), hooked.Iterations, len(hooked.History))
+	}
+	for i, p := range prog {
+		if p.IterStats != hooked.History[i] {
+			t.Errorf("iteration %d: hook stats %+v != history %+v", i, p.IterStats, hooked.History[i])
+		}
+		if p.DelayViolation < 0 || p.PowerViolation < 0 || p.NoiseViolation < 0 ||
+			math.IsNaN(p.Feasibility) || p.Feasibility < 0 {
+			t.Errorf("iteration %d: negative/NaN violation fields: %+v", i, p)
+		}
+		if p.Eval.NodeVisits() <= 0 {
+			t.Errorf("iteration %d: empty eval delta", i)
+		}
+	}
+
+	// The per-iteration deltas partition the work: summed, they cannot
+	// exceed the evaluator's cumulative counters (setup work before the
+	// first iteration is outside the deltas).
+	var sum int64
+	for _, p := range prog {
+		sum += p.Eval.NodeVisits()
+	}
+	if sum <= 0 {
+		t.Fatalf("eval deltas sum to %d", sum)
+	}
+}
+
+// TestEvalStatsSub pins the snapshot-delta helper field-by-field.
+func TestEvalStatsSub(t *testing.T) {
+	a := rc.EvalStats{FullRecomputes: 5, IncRecomputes: 3, ElectricalNodes: 100, UpstreamNodes: 7}
+	b := rc.EvalStats{FullRecomputes: 2, IncRecomputes: 1, ElectricalNodes: 40, UpstreamNodes: 7}
+	d := a.Sub(b)
+	if d.FullRecomputes != 3 || d.IncRecomputes != 2 || d.ElectricalNodes != 60 || d.UpstreamNodes != 0 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if z := a.Sub(a); z != (rc.EvalStats{}) {
+		t.Fatalf("a.Sub(a) = %+v", z)
+	}
+}

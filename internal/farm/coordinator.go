@@ -198,11 +198,15 @@ func (c *Coordinator) beat(workerID string) error {
 // reap scans for workers whose lease TTL has lapsed, marks them dead, and
 // re-queues their leased jobs in deterministic (run, seq) order — so no
 // matter which worker died or when, the surviving workers see the exact
-// job sequence a fresh dispatch would have produced.
+// job sequence a fresh dispatch would have produced. Every scan wakes the
+// parked lease long-polls: a reaped worker's poll learns it is dead, and
+// the survivors re-check their injected-clock deadlines (enqueueLocked
+// only wakes when the scan re-queued something).
 func (c *Coordinator) reap() {
 	now := c.opt.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.wakeLocked()
 	for _, w := range c.workers {
 		if w.dead || now.Sub(w.lastBeat) <= c.opt.LeaseTTL {
 			continue
@@ -274,7 +278,12 @@ func (c *Coordinator) leaseJob(workerID string, wait time.Duration) (*api.Job, s
 	if wait > c.opt.MaxLeaseWait {
 		wait = c.opt.MaxLeaseWait
 	}
-	deadline := time.Now().Add(wait)
+	// The deadline lives on the injected clock, like every other timeout
+	// the coordinator owns (heartbeats, lease TTLs) — so fake-clock tests
+	// can drive long-poll expiry deterministically. The real timer below
+	// only bounds how long the goroutine parks; expiry itself is always
+	// decided by opt.Now against the deadline.
+	deadline := c.opt.Now().Add(wait)
 	for {
 		c.mu.Lock()
 		w := c.workers[workerID]
@@ -294,7 +303,7 @@ func (c *Coordinator) leaseJob(workerID string, wait time.Duration) (*api.Job, s
 		}
 		wake := c.wake
 		c.mu.Unlock()
-		remaining := time.Until(deadline)
+		remaining := deadline.Sub(c.opt.Now())
 		if remaining <= 0 {
 			return nil, "", nil
 		}
@@ -303,7 +312,8 @@ func (c *Coordinator) leaseJob(workerID string, wait time.Duration) (*api.Job, s
 		case <-wake:
 			t.Stop()
 		case <-t.C:
-			return nil, "", nil
+			// Re-check against the injected clock rather than returning:
+			// under a fake clock the wall timer firing means nothing.
 		}
 	}
 }

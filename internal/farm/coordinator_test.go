@@ -442,3 +442,75 @@ func TestSolveJobFlow(t *testing.T) {
 		t.Fatalf("solve not credited: %+v", st.Workers)
 	}
 }
+
+// TestLeaseLongPollExpiresOnInjectedClock is the regression test for the
+// lease long-poll deadline computed with the wall clock instead of
+// Options.Now: an injected-clock test could never drive a parked lease
+// request to expiry. Each case parks a long-poll on an empty queue, then
+// advances only the fake clock and runs a reap scan (which wakes parked
+// polls); the poll must resolve from injected time alone, well before any
+// wall-clock wait elapses.
+func TestLeaseLongPollExpiresOnInjectedClock(t *testing.T) {
+	type outcome struct {
+		job   *api.Job
+		token string
+		err   error
+	}
+	cases := []struct {
+		name    string
+		wait    time.Duration
+		advance time.Duration
+		wantErr error
+	}{
+		// Plain expiry: the fake clock passes the requested deadline.
+		{name: "expires at deadline", wait: 20 * time.Second, advance: 21 * time.Second},
+		// An over-long wait is clamped to MaxLeaseWait (default 30s), so
+		// advancing just past the clamp must expire it.
+		{name: "clamped to MaxLeaseWait", wait: 10 * time.Hour, advance: 31 * time.Second},
+		// Advancing past the lease TTL reaps the worker itself; its parked
+		// poll must learn it is dead, not time out silently.
+		{name: "reaped worker told", wait: 20 * time.Minute, advance: 4 * time.Minute, wantErr: errUnknownWorker},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newTestClock()
+			c := testCoordinator(clock)
+			w := register(t, c, "poller")
+			ch := make(chan outcome, 1)
+			go func() {
+				j, tok, err := c.leaseJob(w, tc.wait)
+				ch <- outcome{j, tok, err}
+			}()
+			// The poll must be parked: nothing is queued and the injected
+			// clock has not moved.
+			select {
+			case o := <-ch:
+				t.Fatalf("long-poll returned before the clock moved: %+v", o)
+			case <-time.After(50 * time.Millisecond):
+			}
+			clock.Advance(tc.advance)
+			c.reap()
+			select {
+			case o := <-ch:
+				if !errors.Is(o.err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", o.err, tc.wantErr)
+				}
+				if o.job != nil || o.token != "" {
+					t.Fatalf("expired poll returned job %+v token %q", o.job, o.token)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("long-poll did not expire from the injected clock")
+			}
+		})
+	}
+
+	// Zero and negative waits never park at all.
+	clock := newTestClock()
+	c := testCoordinator(clock)
+	w := register(t, c, "impatient")
+	for _, wait := range []time.Duration{0, -time.Second} {
+		if j, tok, err := c.leaseJob(w, wait); j != nil || tok != "" || err != nil {
+			t.Fatalf("leaseJob(wait=%v) = %v, %q, %v; want immediate empty return", wait, j, tok, err)
+		}
+	}
+}

@@ -342,7 +342,7 @@ func (wk *worker) executeSweep(inst *bench.Instance, sj *api.SweepJob, enc *json
 				return err
 			}
 		}
-		res, d, sec, err := opt.SolveCell(ev, cell.Bounds, seed, dual)
+		res, d, sec, err := opt.SolveCell(ev, cell.Row, cell.Col, cell.Bounds, seed, dual)
 		if err != nil {
 			return fmt.Errorf("cell (%d,%d): %w", cell.Row, cell.Col, err)
 		}

@@ -70,6 +70,28 @@ func (s EvalStats) NodeVisits() int64 {
 	return s.ElectricalNodes + s.CouplingNodes + s.LoadsNodes + s.ArrivalNodes + s.UpstreamNodes
 }
 
+// Sub returns the counter-wise difference s − prev: the evaluation work
+// performed between two Stats snapshots. The progress-streaming layer uses
+// it to report per-iteration work deltas without resetting the cumulative
+// counters mid-solve.
+func (s EvalStats) Sub(prev EvalStats) EvalStats {
+	return EvalStats{
+		FullRecomputes:     s.FullRecomputes - prev.FullRecomputes,
+		IncRecomputes:      s.IncRecomputes - prev.IncRecomputes,
+		FullUpstreams:      s.FullUpstreams - prev.FullUpstreams,
+		IncUpstreams:       s.IncUpstreams - prev.IncUpstreams,
+		DegradedRecomputes: s.DegradedRecomputes - prev.DegradedRecomputes,
+		DegradedUpstreams:  s.DegradedUpstreams - prev.DegradedUpstreams,
+		CutoverRecomputes:  s.CutoverRecomputes - prev.CutoverRecomputes,
+		CutoverUpstreams:   s.CutoverUpstreams - prev.CutoverUpstreams,
+		ElectricalNodes:    s.ElectricalNodes - prev.ElectricalNodes,
+		CouplingNodes:      s.CouplingNodes - prev.CouplingNodes,
+		LoadsNodes:         s.LoadsNodes - prev.LoadsNodes,
+		ArrivalNodes:       s.ArrivalNodes - prev.ArrivalNodes,
+		UpstreamNodes:      s.UpstreamNodes - prev.UpstreamNodes,
+	}
+}
+
 // Stats returns the accumulated evaluation-work counters.
 func (e *Evaluator) Stats() EvalStats { return e.stats }
 

@@ -59,17 +59,27 @@ func (e *entry) resultNames() []string {
 }
 
 // saveResult stores a named result, evicting the oldest name once the
-// per-instance budget is exceeded.
+// per-instance budget is exceeded. Overwriting a name refreshes its
+// eviction slot: "oldest" means least recently saved, so a hot,
+// repeatedly-overwritten warm-start seed outlives younger names saved
+// once and forgotten.
 func (e *entry) saveResult(name string, r *savedResult, max int) {
 	e.resMu.Lock()
 	defer e.resMu.Unlock()
-	if _, exists := e.results[name]; !exists {
+	if _, exists := e.results[name]; exists {
+		for i, n := range e.order {
+			if n == name {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+	} else {
 		for len(e.order) >= max && len(e.order) > 0 {
 			delete(e.results, e.order[0])
 			e.order = e.order[1:]
 		}
-		e.order = append(e.order, name)
 	}
+	e.order = append(e.order, name)
 	e.results[name] = r
 }
 

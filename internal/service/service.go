@@ -7,14 +7,14 @@ import (
 	"math"
 	"net/http"
 	"runtime"
-	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/farm"
 	"repro/internal/farm/api"
-	"repro/internal/netlist"
+	"repro/internal/store"
 )
 
 // Options configures a Server. The zero value serves with the defaults
@@ -45,6 +45,18 @@ type Options struct {
 	// otherwise — with bit-identical results either way, which is the
 	// farm's determinism contract (see internal/farm).
 	Farm *farm.Coordinator
+	// Store, when non-nil, is the durable result store (ogwsd -data). On
+	// boot the server reloads every persisted circuit and saved result
+	// from it, so warm_from chains survive restarts; thereafter every
+	// registration, save_as, and finished solve is persisted, and a
+	// /solve whose resolved inputs hash to an already-stored solve is
+	// answered from the store without running (dedup; see solveKey).
+	// Persistence never changes solved bits: the stored result IS the
+	// bytes the original solve returned.
+	Store *store.Store
+	// WatchBuffer bounds the per-circuit progress log GET /watch reads
+	// (events retained for late/slow watchers); default delta.DefaultRetain.
+	WatchBuffer int
 }
 
 func (o *Options) fill() {
@@ -63,20 +75,27 @@ func (o *Options) fill() {
 	if o.MaxRequestBytes <= 0 {
 		o.MaxRequestBytes = 16 << 20
 	}
+	if o.WatchBuffer <= 0 {
+		o.WatchBuffer = delta.DefaultRetain
+	}
 }
 
 // Server is the ogwsd HTTP handler: an instance cache plus the solver and
 // sweep entry points behind a JSON API. Create with New; Server implements
 // http.Handler.
 type Server struct {
-	opt   Options
-	cache *instanceCache
-	stats serverStats
-	sem   chan struct{}
-	mux   *http.ServeMux
+	opt      Options
+	cache    *instanceCache
+	stats    serverStats
+	sem      chan struct{}
+	mux      *http.ServeMux
+	hub      *delta.Hub
+	solveSeq int64 // atomic; numbers solves for the watch stream
 }
 
-// New builds a Server with the given options.
+// New builds a Server with the given options. With Options.Store set,
+// construction replays the store: persisted circuits are rebuilt into the
+// cache and saved results re-attached before the first request lands.
 func New(opt Options) *Server {
 	opt.fill()
 	s := &Server{
@@ -84,14 +103,17 @@ func New(opt Options) *Server {
 		cache: newInstanceCache(opt.CacheSize),
 		sem:   make(chan struct{}, opt.MaxConcurrentSolves),
 		mux:   http.NewServeMux(),
+		hub:   delta.NewHub(opt.WatchBuffer),
 	}
 	s.mux.HandleFunc("POST /circuits", s.handleRegister)
 	s.mux.HandleFunc("GET /circuits", s.handleListCircuits)
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /results", s.handleResults)
+	s.mux.HandleFunc("GET /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.reloadFromStore()
 	return s
 }
 
@@ -239,11 +261,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	pipe := bench.PipelineOptions{WireLengthScale: req.WireLengthScale}
 
 	// farmSpec is the circuit's wire form: everything a farm worker needs
-	// to materialize a bit-identical replica under the same cache key.
+	// to materialize a bit-identical replica under the same cache key, and
+	// exactly what the durable store persists so a restarted server can
+	// rebuild the same replica (buildForSpec is that shared spec→instance
+	// mapping).
 	var (
-		key, name string
-		farmSpec  api.CircuitSpec
-		build     func() (*bench.Instance, *bench.Bounds, error)
+		key      string
+		farmSpec api.CircuitSpec
 	)
 	switch {
 	case req.Synthetic != "":
@@ -252,45 +276,32 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "register: unknown synthetic circuit %q", req.Synthetic)
 			return
 		}
-		key, name = bench.SpecKey(spec, pipe), spec.Name
+		key = bench.SpecKey(spec, pipe)
 		farmSpec = api.CircuitSpec{Key: key, Synthetic: req.Synthetic, WireLengthScale: req.WireLengthScale}
-		build = func() (*bench.Instance, *bench.Bounds, error) {
-			inst, err := bench.BuildInstance(spec, pipe)
-			return inst, nil, err
-		}
 	case req.Netlist != "":
-		name = req.Name
+		name := req.Name
 		if name == "" {
 			name = "upload"
 		}
 		key = bench.NetlistKey([]byte(req.Netlist), req.Seed, pipe)
 		farmSpec = api.CircuitSpec{Key: key, Netlist: req.Netlist, Name: name, Seed: req.Seed, WireLengthScale: req.WireLengthScale}
-		build = func() (*bench.Instance, *bench.Bounds, error) {
-			nl, err := netlist.Parse(name, strings.NewReader(req.Netlist))
-			if err != nil {
-				return nil, nil, err
-			}
-			inst, err := bench.AssembleNetlist(nl, req.Seed, pipe)
-			return inst, nil, err
-		}
 	default:
 		g := *req.Grid
-		key, name = bench.GridKey(g.Width, g.Layers, g.Coupled), "grid-mesh"
+		key = bench.GridKey(g.Width, g.Layers, g.Coupled)
 		farmSpec = api.CircuitSpec{Key: key, Grid: &api.GridSpec{Width: g.Width, Layers: g.Layers, Coupled: g.Coupled}}
-		build = func() (*bench.Instance, *bench.Bounds, error) {
-			inst, b, err := bench.GridInstance(g.Width, g.Layers, g.Coupled)
-			if err != nil {
-				return nil, nil, err
-			}
-			// Grid meshes carry their own calibration bounds: DeriveBounds
-			// assumes the netlist pipeline's fields, which a mesh skips.
-			return inst, &b, nil
-		}
+	}
+	name, build, err := buildForSpec(farmSpec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "register: %v", err)
+		return
 	}
 	e, hit, err := s.cache.getOrBuild(key, name, farmSpec, build)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "register %s: %v", name, err)
 		return
+	}
+	if !hit {
+		s.persistCircuit(farmSpec)
 	}
 	resp := registerResponse{
 		Key:     e.key,
@@ -366,18 +377,27 @@ type solveRequest struct {
 	// SaveAs stores this solve's result under the given name for later
 	// warm_from reuse and GET /results export.
 	SaveAs string `json:"save_as,omitempty"`
+	// NoDedup forces the solver to run even when the durable store already
+	// holds this exact solve (same circuit content, bounds, knobs, and
+	// resolved warm-start state). Dedup is safe by construction — the
+	// stored bytes ARE a prior run's bytes and solves are deterministic —
+	// so this knob exists for benchmarking, not correctness.
+	NoDedup bool `json:"no_dedup,omitempty"`
 }
 
 // solveResponse carries the full solver result plus the request echo a
 // client needs to chain warm starts.
 type solveResponse struct {
-	Key      string       `json:"key"`
-	Circuit  string       `json:"circuit"`
-	WarmFrom string       `json:"warm_from,omitempty"`
-	SavedAs  string       `json:"saved_as,omitempty"`
-	Workers  int          `json:"workers"`
-	SolveSec float64      `json:"solve_sec"`
-	Result   *core.Result `json:"result"`
+	Key      string  `json:"key"`
+	Circuit  string  `json:"circuit"`
+	WarmFrom string  `json:"warm_from,omitempty"`
+	SavedAs  string  `json:"saved_as,omitempty"`
+	Workers  int     `json:"workers"`
+	SolveSec float64 `json:"solve_sec"`
+	// Dedup marks a response answered from the durable store without
+	// running the solver; Result is byte-for-byte the original run's.
+	Dedup  bool         `json:"dedup,omitempty"`
+	Result *core.Result `json:"result"`
 }
 
 // resolveBounds applies the request's bound overrides to the instance's
@@ -478,6 +498,41 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		warm = false // paper-faithful S1 reset: sizes reset to the lower bounds
 	}
 
+	wlog := s.watchLog(e.key)
+	solveID := s.nextSolveID()
+
+	// Dedup: everything that determines the result bits is now resolved,
+	// so hash it and check the durable store. A hit returns the stored
+	// bytes — byte-for-byte a prior run's response — without burning a
+	// solve; save_as still takes effect so warm-start chains replayed
+	// against a restarted server cost only the lookups.
+	sk := solveKey(e.key, bounds, req.MaxIterations, req.Epsilon, req.Full, warm, seed, dual)
+	if !req.NoDedup {
+		if hit := s.lookupSolve(sk); hit != nil && hit.Result != nil {
+			if req.SaveAs != "" {
+				saved := &savedResult{Result: hit.Result, Dual: hit.Dual}
+				e.saveResult(req.SaveAs, saved, s.opt.MaxSavedResults)
+				s.persistResult(e.key, req.SaveAs, saved)
+			}
+			s.stats.addDedupHit()
+			s.emit(wlog, progressEvent{
+				Kind: "solve_done", Solve: solveID, Dedup: true,
+				Iterations: hit.Result.Iterations, Converged: hit.Result.Converged,
+				Gap: hit.Result.Gap, Area: hit.Result.Area,
+			})
+			writeJSON(w, http.StatusOK, solveResponse{
+				Key:      e.key,
+				Circuit:  e.name,
+				WarmFrom: req.WarmFrom,
+				SavedAs:  req.SaveAs,
+				Dedup:    true,
+				Result:   hit.Result,
+			})
+			return
+		}
+	}
+	s.emit(wlog, progressEvent{Kind: "solve_start", Solve: solveID})
+
 	// Farm dispatch: with live workers, ship the fully resolved solve (the
 	// exact bounds, seed, dual, and knobs the local path below would use)
 	// to the fleet. The request's workers knob is advisory there — each
@@ -495,12 +550,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Dual:          dual,
 		})
 		if err != nil {
+			s.emit(wlog, progressEvent{Kind: "error", Solve: solveID, Error: err.Error()})
 			writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
 			return
 		}
 		if req.SaveAs != "" {
-			e.saveResult(req.SaveAs, &savedResult{Result: fr.Result, Dual: fr.Dual}, s.opt.MaxSavedResults)
+			saved := &savedResult{Result: fr.Result, Dual: fr.Dual}
+			e.saveResult(req.SaveAs, saved, s.opt.MaxSavedResults)
+			s.persistResult(e.key, req.SaveAs, saved)
 		}
+		s.persistSolve(sk, storedSolve{CircuitKey: e.key, Circuit: e.name, Result: fr.Result, Dual: fr.Dual})
+		s.emit(wlog, progressEvent{
+			Kind: "solve_done", Solve: solveID,
+			Iterations: fr.Result.Iterations, Converged: fr.Result.Converged,
+			Gap: fr.Result.Gap, Area: fr.Result.Area, SolveSec: fr.SolveSec,
+		})
 		s.stats.addSolve(fr.SolveSec, fr.Eval, fr.HysteresisTrips, fr.RevertedSweeps)
 		writeJSON(w, http.StatusOK, solveResponse{
 			Key:      e.key,
@@ -515,6 +579,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opt := s.solverOptions(bounds, req.MaxIterations, req.Epsilon, req.Workers, req.Full, warm)
+	// Stream each iteration onto the watch log. The hook runs on the
+	// solving goroutine between the dual update and the convergence check
+	// and never changes solved bits (pinned by core's hook test).
+	s.solveProgressOptions(&opt, wlog, solveID)
 	replica, err := e.inst.Replica()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "solve: %v", err)
@@ -529,13 +597,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := sol.RunFromDual(seed, dual)
 	if err != nil {
+		s.emit(wlog, progressEvent{Kind: "error", Solve: solveID, Error: err.Error()})
 		writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
 		return
 	}
 	sec := time.Since(start).Seconds()
+	finalDual := sol.DualState()
 	if req.SaveAs != "" {
-		e.saveResult(req.SaveAs, &savedResult{Result: res, Dual: sol.DualState()}, s.opt.MaxSavedResults)
+		saved := &savedResult{Result: res, Dual: finalDual}
+		e.saveResult(req.SaveAs, saved, s.opt.MaxSavedResults)
+		s.persistResult(e.key, req.SaveAs, saved)
 	}
+	s.persistSolve(sk, storedSolve{CircuitKey: e.key, Circuit: e.name, Result: res, Dual: finalDual})
+	s.emit(wlog, progressEvent{
+		Kind: "solve_done", Solve: solveID,
+		Iterations: res.Iterations, Converged: res.Converged,
+		Gap: res.Gap, Area: res.Area, SolveSec: sec,
+	})
 	s.stats.addSolve(sec, replica.Stats(), sol.HysteresisTrips(), sol.RevertedSweeps())
 	writeJSON(w, http.StatusOK, solveResponse{
 		Key:      e.key,
@@ -592,6 +670,9 @@ func (s *Server) farmReady() bool {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	entries, hits, misses, evictions := s.cache.snapshot()
 	st := s.stats.snapshot(len(entries), hits, misses, evictions)
+	if s.opt.Store != nil {
+		st.StoreRecords = s.opt.Store.Len()
+	}
 	if s.opt.Farm != nil {
 		fs := s.opt.Farm.StatsSnapshot()
 		st.Farm = &fs

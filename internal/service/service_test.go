@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -293,5 +294,80 @@ func TestSavedResultEviction(t *testing.T) {
 		if w := do(t, s, "GET", "/results?key="+key+"&name="+name, ""); w.Code != http.StatusOK {
 			t.Errorf("result %s missing: %d", name, w.Code)
 		}
+	}
+}
+
+// TestSavedResultOverwriteRefreshesEvictionSlot is the regression test for
+// an overwritten name keeping its original insertion-order slot: a hot,
+// repeatedly-refreshed warm-start seed was evicted before younger names
+// saved once. Re-saving must move the name to the back of the eviction
+// queue.
+func TestSavedResultOverwriteRefreshesEvictionSlot(t *testing.T) {
+	s := New(Options{MaxSavedResults: 2})
+	key := registerC17(t, s, 17).Key
+	save := func(name string) {
+		t.Helper()
+		body := fmt.Sprintf(`{"key":%q,"max_iterations":2,"save_as":%q}`, key, name)
+		if w := do(t, s, "POST", "/solve", body); w.Code != http.StatusOK {
+			t.Fatalf("solve %s: %d %s", name, w.Code, w.Body.String())
+		}
+	}
+	save("a")
+	save("b")
+	save("a") // refresh: a is now the most recently saved name
+	save("c") // budget 2 → evicts b (the stale one), never the refreshed a
+	if w := do(t, s, "GET", "/results?key="+key+"&name=b", ""); w.Code != http.StatusNotFound {
+		t.Errorf("stale result b survived the overwrite-refresh: %d", w.Code)
+	}
+	for _, name := range []string{"a", "c"} {
+		if w := do(t, s, "GET", "/results?key="+key+"&name="+name, ""); w.Code != http.StatusOK {
+			t.Errorf("result %s missing: %d", name, w.Code)
+		}
+	}
+	// An overwrite at the budget boundary must not evict anything: the
+	// name count is unchanged.
+	save("c")
+	for _, name := range []string{"a", "c"} {
+		if w := do(t, s, "GET", "/results?key="+key+"&name="+name, ""); w.Code != http.StatusOK {
+			t.Errorf("after boundary overwrite, result %s missing: %d", name, w.Code)
+		}
+	}
+}
+
+// TestNDJSONWriterMarshalFailureInBand is the regression test for the
+// streamed-sweep write path silently dropping a line whose payload failed
+// to marshal (a non-finite float, say): the stream lost cells with no
+// in-band signal. Every writeLine call must now produce exactly one
+// output line — unmarshalable payloads become {"error": ...} lines — so
+// the rows×cols+summary line-count contract holds unconditionally.
+func TestNDJSONWriterMarshalFailureInBand(t *testing.T) {
+	rr := httptest.NewRecorder()
+	nw := &ndjsonWriter{w: rr}
+	if nw.started() {
+		t.Fatal("started before any line")
+	}
+	nw.writeLine(map[string]float64{"ok": 1})
+	nw.writeLine(map[string]float64{"bad": math.NaN()}) // json.Marshal fails
+	nw.writeLine(sweepSummary{Done: true})
+	if !nw.started() {
+		t.Fatal("started() false after writes")
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rr.Body.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("stream has %d lines for 3 writes: %q", len(lines), rr.Body.String())
+	}
+	var e errorResponse
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatalf("error line is not JSON: %q (%v)", lines[1], err)
+	}
+	if !strings.Contains(e.Error, "marshal") {
+		t.Errorf("error line %q does not name the marshal failure", e.Error)
+	}
+	var sum sweepSummary
+	if err := json.Unmarshal([]byte(lines[2]), &sum); err != nil || !sum.Done {
+		t.Fatalf("summary line corrupted by the error line: %q (%v)", lines[2], err)
 	}
 }

@@ -23,6 +23,11 @@ type serverStats struct {
 	eval           rc.EvalStats
 	hystTrips      int64
 	revertedSweeps int64
+	// Durable-store accounting (zero when the server runs storeless).
+	dedupHits        int64
+	storeErrors      int64
+	reloadedCircuits int64
+	reloadedResults  int64
 }
 
 func addEval(dst *rc.EvalStats, s rc.EvalStats) {
@@ -49,6 +54,30 @@ func (st *serverStats) addSolve(sec float64, ev rc.EvalStats, trips, reverted in
 	addEval(&st.eval, ev)
 	st.hystTrips += trips
 	st.revertedSweeps += reverted
+}
+
+func (st *serverStats) addDedupHit() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.dedupHits++
+}
+
+func (st *serverStats) addStoreError() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.storeErrors++
+}
+
+func (st *serverStats) addReloadedCircuit() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.reloadedCircuits++
+}
+
+func (st *serverStats) addReloadedResult() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.reloadedResults++
 }
 
 func (st *serverStats) addSweep(sec float64, cells, lrsSweeps int) {
@@ -90,6 +119,17 @@ type Stats struct {
 	NodeVisits      int64        `json:"node_visits"`
 	HysteresisTrips int64        `json:"hysteresis_trips"`
 	RevertedSweeps  int64        `json:"reverted_sweeps"`
+	// Durable-store accounting (ogwsd -data): DedupHits counts /solve
+	// requests answered from the store without running the solver,
+	// ReloadedCircuits / ReloadedResults what the last boot replayed, and
+	// StoreRecords the store's current key count. StoreErrors counts
+	// persistence failures — the solve still succeeds, only durability is
+	// degraded, so the counter (not the response) is where they surface.
+	DedupHits        int64 `json:"dedup_hits"`
+	StoreErrors      int64 `json:"store_errors,omitempty"`
+	ReloadedCircuits int64 `json:"reloaded_circuits,omitempty"`
+	ReloadedResults  int64 `json:"reloaded_results,omitempty"`
+	StoreRecords     int   `json:"store_records,omitempty"`
 	// Farm, present only in -coordinator mode, reports the worker fleet:
 	// per-worker job/cell counters plus reap and re-queue totals. Work a
 	// worker performed remotely is folded into the counters above when its
@@ -106,10 +146,14 @@ func (st *serverStats) snapshot(instances int, hits, misses, evictions int64) St
 		Solves: st.solves, Sweeps: st.sweeps, SweepCells: st.sweepCells,
 		SweepLRSSweeps: st.sweepLRSSweeps,
 		SolveSec:       st.solveSec, SweepSec: st.sweepSec,
-		Eval:            st.eval,
-		NodeVisits:      st.eval.NodeVisits(),
-		HysteresisTrips: st.hystTrips,
-		RevertedSweeps:  st.revertedSweeps,
+		Eval:             st.eval,
+		NodeVisits:       st.eval.NodeVisits(),
+		HysteresisTrips:  st.hystTrips,
+		RevertedSweeps:   st.revertedSweeps,
+		DedupHits:        st.dedupHits,
+		StoreErrors:      st.storeErrors,
+		ReloadedCircuits: st.reloadedCircuits,
+		ReloadedResults:  st.reloadedResults,
 	}
 	if st.sweepSec > 0 {
 		out.SweepCellsPerSec = float64(st.sweepCells) / st.sweepSec

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -124,6 +125,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.sem }()
 
+	// Live-convergence stream: every cell completion (and, on local runs,
+	// every solver iteration) lands on the circuit's watch log. Installed
+	// before the NDJSON OnCell below so the wrapper composes over it.
+	wlog := s.watchLog(e.key)
+	solveID := s.nextSolveID()
+
 	// runGrid solves the grid either on the farm (live workers: the
 	// coordinator leases the wavefront out and reassembles the identical
 	// row-major grid) or locally — the distributed determinism contract is
@@ -136,13 +143,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !req.Stream {
+		s.sweepProgressOptions(&opt, wlog, solveID)
+		s.emit(wlog, progressEvent{Kind: "sweep_start", Solve: solveID})
 		start := time.Now()
 		res, err := runGrid()
 		if err != nil {
+			s.emit(wlog, progressEvent{Kind: "error", Solve: solveID, Error: err.Error()})
 			writeError(w, http.StatusUnprocessableEntity, "sweep: %v", err)
 			return
 		}
 		sec := time.Since(start).Seconds()
+		s.emit(wlog, progressEvent{Kind: "sweep_done", Solve: solveID, Iterations: len(res.Cells), SolveSec: sec})
 		s.stats.addSweep(sec, len(res.Cells), gridLRSSweeps(res))
 		writeJSON(w, http.StatusOK, sweepResponse{Key: e.key, Circuit: e.name, SolveSec: sec, Result: res})
 		return
@@ -152,42 +163,67 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// so a mid-stream error can only be reported in-band as a final
 	// {"error": ...} line; an error before any cell (bad bounds, a failed
 	// first solve) still gets a real 422 like the buffered path.
-	var wmu sync.Mutex
-	wrote := false
-	writeLine := func(v any) {
-		data, err := json.Marshal(v)
-		if err != nil {
-			return
-		}
-		wmu.Lock()
-		defer wmu.Unlock()
-		if !wrote {
-			wrote = true
-			w.Header().Set("Content-Type", "application/x-ndjson")
-		}
-		w.Write(append(data, '\n')) //nolint:errcheck // client gone: keep solving, drop output
-		if f, ok := w.(http.Flusher); ok {
-			f.Flush()
-		}
-	}
-	opt.OnCell = func(c *sweep.Cell) { writeLine(c) }
+	nw := &ndjsonWriter{w: w}
+	opt.OnCell = func(c *sweep.Cell) { nw.writeLine(c) }
+	// The watch wrapper composes over the NDJSON OnCell just installed:
+	// each cell goes out on the response stream AND the watch log.
+	s.sweepProgressOptions(&opt, wlog, solveID)
+	s.emit(wlog, progressEvent{Kind: "sweep_start", Solve: solveID})
 	start := time.Now()
 	res, err := runGrid()
 	if err != nil {
-		wmu.Lock()
-		clean := !wrote
-		wmu.Unlock()
-		if clean {
+		s.emit(wlog, progressEvent{Kind: "error", Solve: solveID, Error: err.Error()})
+		if !nw.started() {
 			writeError(w, http.StatusUnprocessableEntity, "sweep: %v", err)
 		} else {
-			writeLine(errorResponse{Error: err.Error()})
+			nw.writeLine(errorResponse{Error: err.Error()})
 		}
 		return
 	}
 	sec := time.Since(start).Seconds()
+	s.emit(wlog, progressEvent{Kind: "sweep_done", Solve: solveID, Iterations: len(res.Cells), SolveSec: sec})
 	s.stats.addSweep(sec, len(res.Cells), gridLRSSweeps(res))
-	writeLine(sweepSummary{
+	nw.writeLine(sweepSummary{
 		Done: true, Key: e.key, Circuit: e.name,
 		Rows: res.Rows, Cols: res.Cols, Frontier: res.Frontier, SolveSec: sec,
 	})
+}
+
+// ndjsonWriter serializes concurrent NDJSON lines onto one streaming
+// response: the sweep and watch streams' shared write path. The
+// Content-Type header is committed lazily with the first line.
+type ndjsonWriter struct {
+	mu    sync.Mutex
+	w     http.ResponseWriter
+	wrote bool
+}
+
+// writeLine emits v as one NDJSON line. A payload that fails to marshal
+// (a non-finite float, say) must not silently vanish from the stream —
+// the buffered path would have surfaced the failure as an error response,
+// so the stream carries it in-band as an {"error": ...} line instead; the
+// line count stays complete either way.
+func (nw *ndjsonWriter) writeLine(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("stream: line failed to marshal: %v", err)})
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if !nw.wrote {
+		nw.wrote = true
+		nw.w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	nw.w.Write(append(data, '\n')) //nolint:errcheck // client gone: keep solving, drop output
+	if f, ok := nw.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// started reports whether any line has been written (the 200 header is
+// then committed and errors can only go in-band).
+func (nw *ndjsonWriter) started() bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.wrote
 }

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/sweep"
+)
+
+// progressEvent is one live-convergence delta on a circuit's watch
+// stream. Kind is one of:
+//
+//	solve_start — a solve began (Solve numbers solves per server lifetime)
+//	iter        — one OGWS iteration (Iter carries λ-step, violations,
+//	              duality gap, and the rc.EvalStats work delta)
+//	solve_done  — the solve finished (summary fields, never the full X)
+//	sweep_start / cell / sweep_done — the sweep analogues; cell and iter
+//	              carry Row/Col grid positions
+//	error       — the solve or sweep failed
+type progressEvent struct {
+	Kind  string `json:"kind"`
+	Solve int64  `json:"solve,omitempty"`
+	Row   int    `json:"row,omitempty"`
+	Col   int    `json:"col,omitempty"`
+	// Iter is present on kind "iter".
+	Iter *core.IterProgress `json:"iter,omitempty"`
+	// Solve/cell summary fields (kinds solve_done and cell).
+	Iterations int     `json:"iterations,omitempty"`
+	Converged  bool    `json:"converged,omitempty"`
+	Gap        float64 `json:"gap,omitempty"`
+	Area       float64 `json:"area,omitempty"`
+	SolveSec   float64 `json:"solve_sec,omitempty"`
+	// Dedup marks a solve answered from the durable store without running.
+	Dedup bool   `json:"dedup,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// watchLog returns the circuit's progress log, creating it on first use.
+// One log per circuit for the server's lifetime: solves and sweeps append
+// to it sequentially (the per-circuit lock serializes them), watchers
+// cursor through it, and it is never closed — the next solve may always
+// arrive.
+func (s *Server) watchLog(circuitKey string) *delta.Log {
+	return s.hub.Log(circuitKey)
+}
+
+// emit appends one progress event to the circuit's watch stream.
+func (s *Server) emit(log *delta.Log, ev progressEvent) {
+	if _, err := log.AppendJSON(ev); err != nil {
+		// progressEvent always marshals; keep the accounting honest anyway.
+		s.stats.addStoreError()
+	}
+}
+
+// nextSolveID numbers solves across the server lifetime so a watcher can
+// group iter events between a solve_start and its solve_done.
+func (s *Server) nextSolveID() int64 { return atomic.AddInt64(&s.solveSeq, 1) }
+
+// watchResponse is the long-poll GET /watch payload: the events after the
+// request cursor, the cursor to pass next, and whether retention evicted
+// events between the two (the watcher missed some and should resync its
+// notion of state from what follows).
+type watchResponse struct {
+	Key    string        `json:"key"`
+	Events []delta.Event `json:"events"`
+	Next   uint64        `json:"next"`
+	Gapped bool          `json:"gapped,omitempty"`
+}
+
+// maxWatchWait bounds a long-poll; clients repeat with the returned
+// cursor, exactly like the farm's lease long-poll.
+const maxWatchWait = 30 * time.Second
+
+// handleWatch streams a circuit's live solver progress. Long-poll JSON by
+// default: GET /watch?key=…&cursor=N&wait=10s parks until events past N
+// exist (or the wait elapses) and returns them with the next cursor. With
+// sse=1 (or Accept: text/event-stream) the response is an SSE stream:
+// one `data:` line per event, `id:` carrying the cursor so a reconnecting
+// client resumes via Last-Event-ID.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key := q.Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "watch: key query parameter is required")
+		return
+	}
+	if s.cache.get(key) == nil {
+		writeError(w, http.StatusNotFound, "watch: no cached circuit for key %q (register it first; it may have been evicted)", key)
+		return
+	}
+	cursor := uint64(0)
+	if c := q.Get("cursor"); c != "" {
+		v, err := strconv.ParseUint(c, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "watch: bad cursor %q: %v", c, err)
+			return
+		}
+		cursor = v
+	}
+	log := s.watchLog(key)
+
+	sse := q.Get("sse") == "1" || r.Header.Get("Accept") == "text/event-stream"
+	if sse {
+		// Honor Last-Event-ID over the cursor param on SSE reconnects.
+		if last := r.Header.Get("Last-Event-ID"); last != "" {
+			if v, err := strconv.ParseUint(last, 10, 64); err == nil {
+				cursor = v
+			}
+		}
+		s.watchSSE(w, r, key, log, cursor)
+		return
+	}
+
+	wait := time.Duration(0)
+	if ws := q.Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "watch: bad wait %q: %v", ws, err)
+			return
+		}
+		if d > maxWatchWait {
+			d = maxWatchWait
+		}
+		wait = d
+	}
+	events, gapped, _ := log.After(cursor)
+	if len(events) == 0 && wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		if evs, g, _, err := log.Wait(ctx, cursor); err == nil {
+			events, gapped = evs, g
+		}
+		// A timeout or client disconnect returns the empty set with the
+		// caller's own cursor — the poll loop just comes back.
+	}
+	next := cursor
+	if n := len(events); n > 0 {
+		next = events[n-1].Version
+	}
+	writeJSON(w, http.StatusOK, watchResponse{Key: key, Events: events, Next: next, Gapped: gapped})
+}
+
+// watchSSE streams events until the client disconnects.
+func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, key string, log *delta.Log, cursor uint64) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "watch: response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	for {
+		events, gapped, _, err := log.Wait(r.Context(), cursor)
+		if err != nil {
+			return // client gone
+		}
+		if gapped {
+			fmt.Fprintf(w, "event: gap\ndata: {\"gapped\":true}\n\n")
+		}
+		for _, ev := range events {
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Version, ev.Data)
+			cursor = ev.Version
+		}
+		f.Flush()
+	}
+}
+
+// solveProgressOptions installs the per-iteration hook feeding a local
+// solve's trajectory onto the circuit's watch stream.
+func (s *Server) solveProgressOptions(opt *core.Options, log *delta.Log, solveID int64) {
+	opt.OnIteration = func(p core.IterProgress) {
+		ip := p
+		s.emit(log, progressEvent{Kind: "iter", Solve: solveID, Iter: &ip})
+	}
+}
+
+// sweepProgressOptions installs the per-iteration and per-cell hooks
+// feeding a sweep's trajectory onto the circuit's watch stream, wrapping
+// (not replacing) any OnCell already installed for NDJSON streaming.
+func (s *Server) sweepProgressOptions(opt *sweep.Options, log *delta.Log, solveID int64) {
+	opt.OnProgress = func(row, col int, p core.IterProgress) {
+		ip := p
+		s.emit(log, progressEvent{Kind: "iter", Solve: solveID, Row: row, Col: col, Iter: &ip})
+	}
+	prev := opt.OnCell
+	opt.OnCell = func(c *sweep.Cell) {
+		if prev != nil {
+			prev(c)
+		}
+		s.emit(log, progressEvent{
+			Kind: "cell", Solve: solveID, Row: c.Row, Col: c.Col,
+			Iterations: c.Result.Iterations, Converged: c.Result.Converged,
+			Gap: c.Result.Gap, Area: c.Result.Area, SolveSec: c.SolveSec,
+		})
+	}
+}

@@ -73,6 +73,13 @@ type Options struct {
 	// affects the solved values — the grid is the same bit-identical
 	// row-major Result with or without a callback.
 	OnCell func(*Cell)
+	// OnProgress, when non-nil, is called once per solver iteration of
+	// every cell with the cell's grid position and the iteration's
+	// core.IterProgress — the live-streaming hook the sizing service's
+	// /watch endpoint feeds from. Like OnCell it must be safe for
+	// concurrent use (rows solve concurrently) and never affects the
+	// solved values: the grid is bit-identical with or without it.
+	OnProgress func(row, col int, p core.IterProgress)
 	// Cancel, when non-nil, is polled before each cell's solve; once it
 	// returns true no further cells start and Run returns ErrCancelled.
 	// A cell already solving runs to completion (the solver has no
@@ -181,9 +188,14 @@ func cellBounds(base bench.Bounds, off, fd, fn float64) (bench.Bounds, error) {
 // determinism contract holds by construction, not by parallel
 // implementation. Only the solver knobs of o are read (MaxIterations,
 // Epsilon, Workers, PrimalOnly, ColdLRS, FullPasses, ActiveSetTol,
-// CutoverHysteresis); the grid axes are irrelevant here.
-func (o Options) SolveCell(ev *rc.Evaluator, b bench.Bounds, seed []float64, dual *core.DualState) (*core.Result, *core.DualState, float64, error) {
-	sol, err := core.NewSolver(ev, o.solverOptions(b))
+// CutoverHysteresis) plus OnProgress, which receives the given row/col
+// with each iteration; the grid axes are irrelevant here.
+func (o Options) SolveCell(ev *rc.Evaluator, row, col int, b bench.Bounds, seed []float64, dual *core.DualState) (*core.Result, *core.DualState, float64, error) {
+	sopt := o.solverOptions(b)
+	if o.OnProgress != nil {
+		sopt.OnIteration = func(p core.IterProgress) { o.OnProgress(row, col, p) }
+	}
+	sol, err := core.NewSolver(ev, sopt)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -279,7 +291,7 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 				return
 			}
 			c := &res.Cells[k]
-			c.Result, _, c.SolveSec, errs[k] = opt.SolveCell(ev, c.Bounds, initX, nil)
+			c.Result, _, c.SolveSec, errs[k] = opt.SolveCell(ev, c.Row, c.Col, c.Bounds, initX, nil)
 			if opt.OnCell != nil && errs[k] == nil {
 				opt.OnCell(c)
 			}
@@ -310,7 +322,7 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 		if i > 0 {
 			c.SeedRow, c.SeedCol = i-1, 0
 		}
-		if c.Result, dual, c.SolveSec, err = opt.SolveCell(spine, c.Bounds, seed, dual); err != nil {
+		if c.Result, dual, c.SolveSec, err = opt.SolveCell(spine, c.Row, c.Col, c.Bounds, seed, dual); err != nil {
 			return nil, err
 		}
 		if opt.OnCell != nil {
@@ -337,7 +349,7 @@ func Run(inst *bench.Instance, opt Options) (*Result, error) {
 				}
 				c := res.At(i, j)
 				c.SeedRow, c.SeedCol = i, j-1
-				if c.Result, rowD, c.SolveSec, errs[i] = opt.SolveCell(ev, c.Bounds, rowSeed, rowD); errs[i] != nil {
+				if c.Result, rowD, c.SolveSec, errs[i] = opt.SolveCell(ev, c.Row, c.Col, c.Bounds, rowSeed, rowD); errs[i] != nil {
 					return
 				}
 				if opt.OnCell != nil {

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -321,5 +322,40 @@ func TestRunSpec(t *testing.T) {
 	}
 	if len(res.Frontier) == 0 {
 		t.Error("empty frontier")
+	}
+}
+
+// TestSweepOnProgressStreams pins the per-iteration progress hook: every
+// cell reports at least one iteration tagged with its own grid position,
+// the per-cell iteration counts match the solved results, and — the
+// determinism clause — the grid is bit-identical with the hook installed.
+func TestSweepOnProgressStreams(t *testing.T) {
+	inst, b := testInstance(t, 12, 10)
+	ref := stripTiming(runSweep(t, inst, testOptions(b, nil)))
+
+	var mu sync.Mutex
+	iters := map[[2]int]int{}
+	res := stripTiming(runSweep(t, inst, testOptions(b, func(o *Options) {
+		o.OnProgress = func(row, col int, p core.IterProgress) {
+			if p.K <= 0 || p.Area <= 0 {
+				t.Errorf("cell (%d,%d): bad progress %+v", row, col, p)
+			}
+			mu.Lock()
+			iters[[2]int{row, col}]++
+			mu.Unlock()
+		}
+	})))
+
+	if !reflect.DeepEqual(ref, res) {
+		t.Errorf("OnProgress perturbed the solved grid")
+	}
+	for i := 0; i < res.Rows; i++ {
+		for j := 0; j < res.Cols; j++ {
+			c := res.At(i, j)
+			if got := iters[[2]int{i, j}]; got != c.Result.Iterations {
+				t.Errorf("cell (%d,%d): %d progress events for %d iterations",
+					i, j, got, c.Result.Iterations)
+			}
+		}
 	}
 }

@@ -1,0 +1,58 @@
+#!/bin/sh
+# CI smoke for the durable result store (ogwsd -data): start the real
+# binary with a data directory, seed it over HTTP (solve + save_as +
+# warm-started refinement), SIGKILL the process mid-life — no shutdown
+# hook, exactly the crash the journal is fsync'd for — restart it on the
+# same directory, and require (a) the circuit and saved result to come
+# back from the store, (b) a forced re-run of the refinement to be
+# bit-identical to the pre-crash chain, and (c) the dedup path to answer
+# the same solve from the store. scripts/storecheck drives both phases;
+# see TESTING.md, "The restart oracle".
+set -eu
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+	status=$?
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	if [ "$status" -ne 0 ] && [ -s "$tmp/ogwsd.log" ]; then
+		echo "store_smoke: server log:" >&2
+		cat "$tmp/ogwsd.log" >&2
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/ogwsd" ./cmd/ogwsd
+
+start_server() {
+	rm -f "$tmp/addr"
+	"$tmp/ogwsd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -data "$tmp/data" >>"$tmp/ogwsd.log" 2>&1 &
+	pid=$!
+	i=0
+	while [ ! -s "$tmp/addr" ]; do
+		if ! kill -0 "$pid" 2>/dev/null; then
+			echo "store_smoke: ogwsd exited before binding its port" >&2
+			exit 1
+		fi
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "store_smoke: ogwsd did not write its address in time" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	addr="$(head -n1 "$tmp/addr")"
+}
+
+start_server
+go run ./scripts/storecheck -addr "$addr" -phase seed -out "$tmp/refined.json"
+
+# SIGKILL, not SIGTERM: the store's crash-safety claim is that the fsync'd
+# journal alone reconstructs the state, with no orderly-shutdown help.
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+start_server
+go run ./scripts/storecheck -addr "$addr" -phase verify -expect "$tmp/refined.json"
