@@ -10,10 +10,17 @@
 //
 //	ogws-worker -coordinator http://127.0.0.1:8372 [-name lab-3]
 //	            [-workers 0] [-cache 4] [-fail-after-cells 0]
+//	            [-fault spec] [-max-retries 0] [-retry-base 100ms]
+//	            [-retry-cap 5s]
 //
 // -fail-after-cells injects the fault the farm smoke test exercises: the
 // worker dies (exit code 3, heartbeats stop) right after streaming its
-// Nth sweep cell.
+// Nth sweep cell. -fault arms a general deterministic fault plan
+// (internal/fault spec syntax): http: rules fault the coordinator link —
+// which the worker rides out with capped, jittered retries — and a
+// worker:cell crash rule generalizes -fail-after-cells. A worker that
+// loses its coordinator (restart, network partition, reap) re-registers
+// with backoff and keeps serving; -max-retries bounds that persistence.
 package main
 
 import (
@@ -21,11 +28,13 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/farm"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -36,9 +45,27 @@ func main() {
 	workers := flag.Int("workers", 0, "solver goroutines per solve (0 = all cores; results bit-identical at every width)")
 	cache := flag.Int("cache", 4, "local instance-cache capacity in circuits")
 	failAfterCells := flag.Int("fail-after-cells", 0, "fault injection: die right after streaming the Nth sweep cell (0 = never)")
+	faultSpec := flag.String("fault", "", "chaos testing: deterministic fault plan, e.g. 'seed=7;http:/farm/v1/result:cut,count=1;worker:cell:crash,after=2' — http: rules fault the coordinator link, worker:cell crash rules kill the worker mid-job (see internal/fault)")
+	maxRetries := flag.Int("max-retries", 0, "give up after N consecutive transient coordinator failures (0 = retry forever with capped backoff)")
+	retryBase := flag.Duration("retry-base", 0, "first retry backoff delay (0 = 100ms; doubles per attempt with deterministic jitter)")
+	retryCap := flag.Duration("retry-cap", 0, "retry backoff ceiling (0 = 5s)")
 	flag.Parse()
 	if *coordinator == "" {
 		log.Fatal("-coordinator is required")
+	}
+
+	var plan *fault.Plan
+	client := http.DefaultClient
+	if *faultSpec != "" {
+		var err error
+		plan, err = fault.Parse(*faultSpec)
+		if err != nil {
+			log.Fatalf("-fault: %v", err)
+		}
+		// The plan faults both sides: the HTTP link to the coordinator
+		// (http: rules) and the worker's own lifecycle (worker: rules).
+		client = &http.Client{Transport: fault.NewTransport(plan, nil)}
+		log.Printf("CHAOS: fault plan armed (%s)", plan)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -49,6 +76,10 @@ func main() {
 		SolverWorkers:  *workers,
 		CacheSize:      *cache,
 		FailAfterCells: *failAfterCells,
+		Fault:          plan,
+		MaxRetries:     *maxRetries,
+		Backoff:        fault.Backoff{Base: *retryBase, Cap: *retryCap},
+		Client:         client,
 		Logf:           log.Printf,
 	})
 	switch {

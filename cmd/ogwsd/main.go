@@ -8,6 +8,14 @@
 //	ogwsd [-addr 127.0.0.1:8372] [-cache 8] [-max-solves 0]
 //	      [-workers 1] [-addr-file path] [-data dir]
 //	      [-coordinator] [-farm-heartbeat 2s] [-farm-lease-ttl 6s]
+//	      [-max-queued 0] [-drain-timeout 10s] [-store-probe 15s]
+//	      [-fault-store spec]
+//
+// SIGTERM/SIGINT triggers a graceful drain: new solves are shed with
+// 503 + Retry-After, in-flight ones get -drain-timeout to finish, farm
+// runs are cancelled, and the store writes a final checkpoint before the
+// listener closes. -fault-store arms deterministic store-filesystem
+// faults for the chaos smoke test (internal/fault spec syntax).
 //
 // With -coordinator the server additionally embeds the distributed-sizing
 // coordinator (internal/farm): ogws-worker processes register under
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/farm"
+	"repro/internal/fault"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -56,6 +65,10 @@ func main() {
 	coordinator := flag.Bool("coordinator", false, "embed the distributed-sizing coordinator: serve the /farm/v1/ job API and dispatch work to registered ogws-worker processes")
 	farmHeartbeat := flag.Duration("farm-heartbeat", 2*time.Second, "worker heartbeat cadence in -coordinator mode")
 	farmLeaseTTL := flag.Duration("farm-lease-ttl", 0, "silence budget before a worker is reaped and its jobs re-queued (0 = 3x the heartbeat)")
+	maxQueued := flag.Int("max-queued", 0, "max solve/sweep requests admitted but unfinished before new ones are shed 503 + Retry-After (0 = 4x -max-solves)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget: how long in-flight solves get to finish before farm runs are cancelled and the final checkpoint is forced")
+	storeProbe := flag.Duration("store-probe", 0, "degraded store mode recovery-probe interval (0 = 15s; see /stats store_mode)")
+	faultStore := flag.String("fault-store", "", "chaos testing: deterministic fault plan for the store filesystem, e.g. 'seed=7;fs:write:err,count=3' (see internal/fault)")
 	flag.Parse()
 
 	var coord *farm.Coordinator
@@ -68,8 +81,17 @@ func main() {
 	}
 	var st *store.Store
 	if *dataDir != "" {
+		var fs fault.FS
+		if *faultStore != "" {
+			plan, err := fault.Parse(*faultStore)
+			if err != nil {
+				log.Fatalf("-fault-store: %v", err)
+			}
+			fs = fault.NewFS(plan, fault.OS())
+			log.Printf("CHAOS: store filesystem faults armed (%s)", plan)
+		}
 		var err error
-		st, err = store.Open(*dataDir, store.Options{})
+		st, err = store.Open(*dataDir, store.Options{FS: fs})
 		if err != nil {
 			log.Fatalf("open store %s: %v", *dataDir, err)
 		}
@@ -80,6 +102,8 @@ func main() {
 		CacheSize:           *cache,
 		MaxConcurrentSolves: *maxSolves,
 		DefaultWorkers:      *workers,
+		MaxQueuedSolves:     *maxQueued,
+		StoreProbeInterval:  *storeProbe,
 		Farm:                coord,
 		Store:               st,
 	})
@@ -121,11 +145,20 @@ func main() {
 			log.Fatal(err)
 		}
 	case s := <-sig:
-		log.Printf("received %v, shutting down", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("received %v, draining (budget %s)", s, *drainTimeout)
+		// Drain first: shed new solves with 503, let in-flight ones finish
+		// within the budget, cancel any farm runs a dead fleet would park
+		// forever, and write the final store checkpoint. Only then close
+		// the listener — clients being shed still deserve their 503s.
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		dcancel()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Fatal(err)
+			log.Printf("shutdown: %v", err)
 		}
 	}
 }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCancelStopsAtIterationBoundary cancels after a fixed number of
+// iterations and checks Run returns ErrCancelled without finishing.
+func TestCancelStopsAtIterationBoundary(t *testing.T) {
+	g, _ := chain(t)
+	ev := newEval(t, g, emptySet(t))
+	opt := DefaultOptions(2.0, 0, 0)
+	iters := 0
+	opt.OnIteration = func(IterProgress) { iters++ }
+	opt.Cancel = func() bool { return iters >= 3 }
+	sol, err := NewSolver(ev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sol.Run()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled Run returned a result")
+	}
+	if iters != 3 {
+		t.Fatalf("ran %d iterations past cancellation, want exactly 3", iters)
+	}
+}
+
+// TestCancelImmediately cancels before the first iteration.
+func TestCancelImmediately(t *testing.T) {
+	g, _ := chain(t)
+	ev := newEval(t, g, emptySet(t))
+	opt := DefaultOptions(2.0, 0, 0)
+	opt.Cancel = func() bool { return true }
+	sol, err := NewSolver(ev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sol.Run(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestCancelHookDoesNotPerturbBits pins the Cancel bit-identity contract:
+// a solve with a Cancel hook that never fires produces the byte-identical
+// trajectory of a solve with no hook at all.
+func TestCancelHookDoesNotPerturbBits(t *testing.T) {
+	g, _ := chain(t)
+	run := func(withHook bool) *Result {
+		ev := newEval(t, g, emptySet(t))
+		opt := DefaultOptions(2.0, 0, 0)
+		if withHook {
+			opt.Cancel = func() bool { return false }
+		}
+		sol, err := NewSolver(ev, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sol.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	if a.Iterations != b.Iterations || a.Area != b.Area || a.Gap != b.Gap {
+		t.Fatalf("hooked run diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("size %d differs with a never-firing Cancel hook", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -130,7 +131,21 @@ type Options struct {
 	// into the Solver; it observes the trajectory without perturbing it —
 	// results are bit-identical with or without a hook installed.
 	OnIteration func(IterProgress)
+	// Cancel, when non-nil, is polled once per OGWS iteration at the
+	// iteration boundary (before A2); once it returns true Run stops and
+	// returns ErrCancelled. The poll sits between iterations, so a solve
+	// whose Cancel never fires runs the exact same arithmetic as one with
+	// no hook at all — results stay bit-identical. Cancellation latency is
+	// one full iteration (the inner LRS has no preemption points). The
+	// sizing service wires the request context in here so an abandoned
+	// solve stops burning the solver pool.
+	Cancel func() bool
 }
+
+// ErrCancelled is returned by Run (and RunFromDual) when Options.Cancel
+// reported true at an iteration boundary. The solver's multiplier state is
+// left mid-ascent and must not be reused as a warm-start snapshot.
+var ErrCancelled = errors.New("core: solve cancelled")
 
 // DefaultCutoverHysteresis is the default Options.CutoverHysteresis,
 // placed by measurement between the two recorded regimes: the warm-started
@@ -1087,6 +1102,9 @@ func (s *Solver) Run() (*Result, error) {
 		prevEval = ev.Stats()
 	}
 	for k = 1; k <= s.opt.MaxIterations; k++ {
+		if s.opt.Cancel != nil && s.opt.Cancel() {
+			return nil, ErrCancelled
+		}
 		// A2: merged node multipliers.
 		s.pool.run(0, g.NumNodes(), func(_, lo, hi int) {
 			s.mult.NodeSumsRange(s.lambda, lo, hi)

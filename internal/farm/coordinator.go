@@ -117,6 +117,7 @@ type Coordinator struct {
 	workersReaped int64
 	runsCompleted int64
 	runsFailed    int64
+	reconnects    int64
 }
 
 // New builds a Coordinator with the given options.
@@ -167,6 +168,17 @@ func (c *Coordinator) register(req api.RegisterRequest) (api.RegisterResponse, e
 	}
 	if w.name == "" {
 		w.name = w.id
+	}
+	// A register under a name already on the books is a worker coming back
+	// after a crash, reap, or coordinator outage — count it so /stats makes
+	// retry storms visible.
+	if req.Name != "" {
+		for _, prev := range c.workers {
+			if prev.name == req.Name {
+				c.reconnects++
+				break
+			}
+		}
 	}
 	c.workers[w.id] = w
 	c.logf("farm: worker %s (%s) registered", w.id, w.name)
@@ -316,6 +328,25 @@ func (c *Coordinator) leaseJob(workerID string, wait time.Duration) (*api.Job, s
 			// under a fake clock the wall timer firing means nothing.
 		}
 	}
+}
+
+// CancelRuns fails every unfinished run with the given reason and returns
+// how many it killed. Queued jobs are dropped lazily, in-flight result
+// streams get 410, and every run's waiter unblocks with the error — the
+// coordinator half of ogwsd's graceful drain.
+func (c *Coordinator) CancelRuns(reason string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.wakeLocked()
+	n := 0
+	for _, r := range c.runs {
+		if r.finished() {
+			continue
+		}
+		c.failLocked(r, errors.New(reason))
+		n++
+	}
+	return n
 }
 
 // LiveWorkers reports how many registered workers are currently live —

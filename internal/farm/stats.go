@@ -30,6 +30,10 @@ type Stats struct {
 	WorkersReaped int64 `json:"workers_reaped"`
 	RunsCompleted int64 `json:"runs_completed"`
 	RunsFailed    int64 `json:"runs_failed"`
+	// Reconnects counts registrations under a worker name already on the
+	// books — a fleet member coming back after a crash or coordinator
+	// outage rather than a brand-new node.
+	Reconnects int64 `json:"reconnects"`
 }
 
 // StatsSnapshot returns the coordinator's current counters.
@@ -44,6 +48,7 @@ func (c *Coordinator) StatsSnapshot() Stats {
 		WorkersReaped: c.workersReaped,
 		RunsCompleted: c.runsCompleted,
 		RunsFailed:    c.runsFailed,
+		Reconnects:    c.reconnects,
 	}
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerStats{

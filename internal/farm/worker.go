@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/farm/api"
+	"repro/internal/fault"
 	"repro/internal/netlist"
 	"repro/internal/rc"
 	"repro/internal/sweep"
@@ -39,8 +41,28 @@ type WorkerOptions struct {
 	// heartbeats stop) immediately after streaming its Nth sweep-cell
 	// result, leaving its current job leased with the stream open.
 	FailAfterCells int
+	// Fault, when non-nil, is the worker's deterministic fault plan. A
+	// "worker:cell" rule of kind Crash generalizes FailAfterCells: the
+	// worker dies right after streaming the cell the plan selects. Wrap
+	// Client's transport with fault.NewTransport to fault the coordinator
+	// link as well.
+	Fault *fault.Plan
+	// Backoff schedules the delays between retries of transient
+	// coordinator failures (network errors, 5xx): capped exponential with
+	// deterministic jitter. The zero value uses the fault.Backoff defaults
+	// (100ms base, 5s cap) with a seed derived from Name, so a fleet's
+	// retry waves decorrelate instead of stampeding.
+	Backoff fault.Backoff
+	// MaxRetries bounds consecutive transient failures of one operation
+	// (a register/lease round, or one result-stream replay) before the
+	// worker gives up; 0 retries until ctx cancels — a worker outlives any
+	// coordinator outage by default.
+	MaxRetries int
 	// LeaseWait is the long-poll window per lease request (default 10s).
 	LeaseWait time.Duration
+	// Sleep waits between retries, honouring ctx; injectable so tests
+	// drive backoff without wall-clock waits.
+	Sleep func(ctx context.Context, d time.Duration)
 	// Client is the HTTP client (default http.DefaultClient); Logf, when
 	// non-nil, receives worker lifecycle lines.
 	Client *http.Client
@@ -60,12 +82,34 @@ func (o *WorkerOptions) fill() {
 	if o.Client == nil {
 		o.Client = http.DefaultClient
 	}
+	if o.Backoff.Seed == 0 && o.Name != "" {
+		h := fnv.New64a()
+		h.Write([]byte(o.Name)) //nolint:errcheck // hash.Write never fails
+		o.Backoff.Seed = h.Sum64()
+	}
+	if o.Sleep == nil {
+		o.Sleep = func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+			case <-t.C:
+			}
+		}
+	}
 }
 
 // ErrFaultInjected is returned by RunWorker when WorkerOptions.
-// FailAfterCells tripped — the deliberate mid-job death the reaping smoke
-// tests rely on.
+// FailAfterCells (or a "worker:cell" Crash rule in the fault plan) tripped
+// — the deliberate mid-job death the reaping smoke tests rely on.
 var ErrFaultInjected = errors.New("farm: worker fault injected")
+
+// permanentError marks failures no retry can fix — protocol refusals like
+// a version mismatch. Everything else is presumed transient.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
 
 // worker is one running worker's state.
 type worker struct {
@@ -86,25 +130,69 @@ func (wk *worker) logf(format string, args ...any) {
 	}
 }
 
-// RunWorker registers with the coordinator and processes leased jobs
-// until ctx is cancelled (returns nil), the coordinator reaps or refuses
-// the worker (returns the refusal), or a configured fault trips (returns
-// ErrFaultInjected). Heartbeats run on a side goroutine at the cadence the
-// coordinator assigned at registration.
+// RunWorker serves the coordinator until ctx is cancelled (returns nil),
+// a permanent refusal lands (returns it), or a configured fault trips
+// (returns ErrFaultInjected). Transient failures — a dead or restarting
+// coordinator, a dropped lease call, a reap after missed heartbeats —
+// never kill the worker: it backs off (capped exponential, deterministic
+// jitter) and re-registers for a fresh session, forever by default or up
+// to MaxRetries consecutive failures.
 func RunWorker(ctx context.Context, opt WorkerOptions) error {
 	opt.fill()
 	wk := &worker{opt: opt, cache: map[string]*bench.Instance{}}
+	failures := 0
+	for {
+		registered, err := wk.session(ctx)
+		if registered {
+			// The session made real progress; the next failure starts a
+			// fresh backoff ramp.
+			failures = 0
+		}
+		switch {
+		case ctx.Err() != nil:
+			return nil
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrFaultInjected):
+			return err
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return err
+		}
+		failures++
+		if opt.MaxRetries > 0 && failures > opt.MaxRetries {
+			return fmt.Errorf("farm worker: giving up after %d consecutive failures: %w", failures-1, err)
+		}
+		d := opt.Backoff.Delay(failures - 1)
+		wk.logf("farm worker: %v; reconnecting in %v (attempt %d)", err, d, failures)
+		opt.Sleep(ctx, d)
+	}
+}
 
+// session registers once and serves leases until a failure tears the
+// connection down. The first return reports whether registration
+// succeeded — the caller's cue to reset its backoff ramp. A nil error
+// means ctx was cancelled (clean shutdown).
+func (wk *worker) session(ctx context.Context) (bool, error) {
 	var reg api.RegisterResponse
-	status, err := wk.postJSON(ctx, "/farm/v1/register", api.RegisterRequest{Version: api.Version, Name: opt.Name}, &reg)
+	status, err := wk.postJSON(ctx, "/farm/v1/register", api.RegisterRequest{Version: api.Version, Name: wk.opt.Name}, &reg)
+	if status >= 400 && status < 500 {
+		// A 4xx refusal (protocol version skew) is deterministic: retrying
+		// the same binary would be refused forever.
+		if err == nil {
+			err = fmt.Errorf("refused (%d)", status)
+		}
+		return false, permanentError{fmt.Errorf("farm worker: register: %w", err)}
+	}
 	if err != nil {
-		return fmt.Errorf("farm worker: register: %w", err)
+		return false, fmt.Errorf("farm worker: register: %w", err)
 	}
 	if status != http.StatusOK {
-		return fmt.Errorf("farm worker: register refused (%d)", status)
+		return false, fmt.Errorf("farm worker: register refused transiently (%d)", status)
 	}
 	wk.id = reg.WorkerID
-	wk.logf("farm worker %s: registered with %s (heartbeat %dms, lease TTL %dms)", wk.id, opt.Coordinator, reg.HeartbeatMillis, reg.LeaseTTLMillis)
+	wk.logf("farm worker %s: registered with %s (heartbeat %dms, lease TTL %dms)", wk.id, wk.opt.Coordinator, reg.HeartbeatMillis, reg.LeaseTTLMillis)
 
 	// The worker context dies with the parent, with a heartbeat refusal,
 	// or when the worker loop exits (stopping the heartbeat goroutine).
@@ -125,28 +213,30 @@ func RunWorker(ctx context.Context, opt WorkerOptions) error {
 			if wctx.Err() != nil {
 				break
 			}
-			return fmt.Errorf("farm worker %s: lease: %w", wk.id, err)
+			return true, fmt.Errorf("farm worker %s: lease: %w", wk.id, err)
 		}
 		if status == http.StatusGone {
-			return fmt.Errorf("farm worker %s: reaped by coordinator", wk.id)
+			// Reaped or unknown: our leased work was already re-queued, so a
+			// fresh identity is the right recovery, not an exit.
+			return true, fmt.Errorf("farm worker %s: reaped by coordinator", wk.id)
 		}
 		if status != http.StatusOK || lease.Job == nil {
-			continue // empty long-poll window
+			continue // empty long-poll window, or a transient refusal
 		}
 		err = wk.runJob(wctx, lease.Job, lease.Lease)
 		if errors.Is(err, ErrFaultInjected) {
-			return err
+			return true, err
 		}
 		if err != nil && wctx.Err() == nil {
-			// A per-job failure (stale lease after a slow solve, transient
-			// stream error) is not fatal: drop the job and lease fresh work.
+			// A per-job failure (stale lease after a slow solve, dead run) is
+			// not fatal: drop the job and lease fresh work.
 			wk.logf("farm worker %s: job %d: %v", wk.id, lease.Job.ID, err)
 		}
 	}
 	if err := context.Cause(wctx); err != nil && ctx.Err() == nil {
-		return err
+		return true, err
 	}
-	return nil
+	return true, nil
 }
 
 // heartbeatLoop beats until the context dies; a refusal (the coordinator
@@ -250,11 +340,35 @@ func (wk *worker) materialize(spec api.CircuitSpec) (*bench.Instance, error) {
 	return inst, nil
 }
 
+// bestEffortWriter forwards writes until the first failure, then swallows
+// everything. It lets a job stream live through a pipe whose far end may
+// die mid-request: execution completes regardless, and the buffered copy
+// carries the replay.
+type bestEffortWriter struct {
+	w      io.Writer
+	broken bool
+}
+
+func (b *bestEffortWriter) Write(p []byte) (int, error) {
+	if !b.broken {
+		if _, err := b.w.Write(p); err != nil {
+			b.broken = true
+		}
+	}
+	return len(p), nil
+}
+
 // runJob executes one leased job, streaming its NDJSON result lines to
 // the coordinator as they are produced. The stream is the job's only
 // output channel: a terminal error is reported in-band (it fails the run
 // deterministically), and a missing done marker tells the coordinator the
 // worker died mid-job.
+//
+// Every line is also buffered locally; if the live stream dies in transit
+// (network cut, 5xx), the full buffer is re-POSTed with backoff. Replay is
+// free by construction — the coordinator records cells first-wins and
+// duplicates are bitwise equal — so at-least-once delivery costs nothing.
+// 409 (stale lease) and 410 (dead run) stay terminal for the job.
 func (wk *worker) runJob(ctx context.Context, job *api.Job, lease string) error {
 	pr, pw := io.Pipe()
 	url := fmt.Sprintf("%s/farm/v1/result?job=%d&lease=%s", wk.opt.Coordinator, job.ID, lease)
@@ -264,30 +378,53 @@ func (wk *worker) runJob(ctx context.Context, job *api.Job, lease string) error 
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 
+	var buf bytes.Buffer
 	execErr := make(chan error, 1)
 	go func() {
-		err := wk.execute(job, pw)
+		// The buffer write always succeeds; the pipe is best-effort so a
+		// severed stream cannot abort the computation it carries.
+		w := io.MultiWriter(&buf, &bestEffortWriter{w: pw})
+		err := wk.execute(ctx, job, w)
 		if err != nil && !errors.Is(err, ErrFaultInjected) {
 			// Deterministic failure: report in-band so the coordinator fails
 			// the run instead of re-queueing a job that would fail again.
-			json.NewEncoder(pw).Encode(api.ResultLine{Error: err.Error()}) //nolint:errcheck // pipe broken: POST error surfaces below
+			json.NewEncoder(w).Encode(api.ResultLine{Error: err.Error()}) //nolint:errcheck // buffer writes cannot fail
 		} else if err == nil {
-			err = json.NewEncoder(pw).Encode(api.ResultLine{Done: true})
+			json.NewEncoder(w).Encode(api.ResultLine{Done: true}) //nolint:errcheck
 		}
 		pw.Close()
 		execErr <- err
 	}()
 
 	resp, doErr := wk.opt.Client.Do(req)
+	status := 0
+	if doErr == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+		resp.Body.Close()
+		status = resp.StatusCode
+	}
 	err = <-execErr
-	if doErr != nil {
-		return doErr
-	}
-	defer resp.Body.Close()
 	if errors.Is(err, ErrFaultInjected) {
-		return err
+		return err // die mid-job: the open lease is the reaper's problem
 	}
-	switch resp.StatusCode {
+
+	for attempt := 1; doErr != nil || status >= 500; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if wk.opt.MaxRetries > 0 && attempt > wk.opt.MaxRetries {
+			if doErr != nil {
+				return fmt.Errorf("farm worker %s: result stream for job %d: %w", wk.id, job.ID, doErr)
+			}
+			return fmt.Errorf("farm worker %s: result stream for job %d kept failing (%d)", wk.id, job.ID, status)
+		}
+		d := wk.opt.Backoff.Delay(attempt - 1)
+		wk.logf("farm worker %s: result stream for job %d failed (err=%v status=%d); replaying %d bytes in %v", wk.id, job.ID, doErr, status, buf.Len(), d)
+		wk.opt.Sleep(ctx, d)
+		status, doErr = wk.postResult(ctx, url, buf.Bytes())
+	}
+
+	switch status {
 	case http.StatusOK:
 		return err
 	case http.StatusConflict:
@@ -295,12 +432,29 @@ func (wk *worker) runJob(ctx context.Context, job *api.Job, lease string) error 
 	case http.StatusGone:
 		return fmt.Errorf("farm worker %s: run of job %d is dead, dropping results", wk.id, job.ID)
 	default:
-		return fmt.Errorf("farm worker %s: result stream for job %d refused (%d)", wk.id, job.ID, resp.StatusCode)
+		return fmt.Errorf("farm worker %s: result stream for job %d refused (%d)", wk.id, job.ID, status)
 	}
 }
 
+// postResult re-POSTs a fully buffered result stream — the replay half of
+// the resumable stream protocol.
+func (wk *worker) postResult(ctx context.Context, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := wk.opt.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+	return resp.StatusCode, nil
+}
+
 // execute runs the job's solve or sweep batch, writing result lines to w.
-func (wk *worker) execute(job *api.Job, w io.Writer) error {
+func (wk *worker) execute(ctx context.Context, job *api.Job, w io.Writer) error {
 	inst, err := wk.materialize(job.Circuit)
 	if err != nil {
 		return err
@@ -308,12 +462,22 @@ func (wk *worker) execute(job *api.Job, w io.Writer) error {
 	enc := json.NewEncoder(w)
 	switch {
 	case job.Sweep != nil:
-		return wk.executeSweep(inst, job.Sweep, enc)
+		return wk.executeSweep(ctx, inst, job.Sweep, enc)
 	case job.Solve != nil:
-		return wk.executeSolve(inst, job.Solve, enc)
+		return wk.executeSolve(ctx, inst, job.Solve, enc)
 	default:
 		return fmt.Errorf("farm worker: job %d carries no work", job.ID)
 	}
+}
+
+// crashAfterCell reports whether a configured fault kills the worker
+// after the cell just streamed: the legacy FailAfterCells counter or a
+// "worker:cell" Crash rule in the fault plan.
+func (wk *worker) crashAfterCell() bool {
+	if inj := wk.opt.Fault.Next("worker:cell"); inj != nil && inj.Kind == fault.Crash {
+		return true
+	}
+	return wk.opt.FailAfterCells > 0 && wk.cells >= wk.opt.FailAfterCells
 }
 
 // executeSweep solves the batch through sweep.Options.SolveCell — the
@@ -321,7 +485,7 @@ func (wk *worker) execute(job *api.Job, w io.Writer) error {
 // yield equal bits. Chained batches walk one evaluator with the shipped
 // seed threading cell to cell; independent batches give every cell a
 // fresh evaluator seeded from the shipped sizes.
-func (wk *worker) executeSweep(inst *bench.Instance, sj *api.SweepJob, enc *json.Encoder) error {
+func (wk *worker) executeSweep(ctx context.Context, inst *bench.Instance, sj *api.SweepJob, enc *json.Encoder) error {
 	opt := sweep.Options{
 		MaxIterations:     sj.MaxIterations,
 		Epsilon:           sj.Epsilon,
@@ -331,6 +495,9 @@ func (wk *worker) executeSweep(inst *bench.Instance, sj *api.SweepJob, enc *json
 		FullPasses:        sj.FullPasses,
 		ActiveSetTol:      sj.ActiveSetTol,
 		CutoverHysteresis: sj.CutoverHysteresis,
+		// A cancelled session (shutdown, reap) stops the in-flight cell at
+		// its next solver iteration instead of finishing the batch.
+		Cancel: func() bool { return ctx.Err() != nil },
 	}
 	g, cs := inst.Eval.Graph(), inst.Eval.Couplings()
 	seed, dual := sj.Seed, sj.Dual
@@ -356,7 +523,7 @@ func (wk *worker) executeSweep(inst *bench.Instance, sj *api.SweepJob, enc *json
 			return err
 		}
 		wk.cells++
-		if wk.opt.FailAfterCells > 0 && wk.cells >= wk.opt.FailAfterCells {
+		if wk.crashAfterCell() {
 			wk.logf("farm worker %s: fault injected after %d cells, dying mid-job", wk.id, wk.cells)
 			return ErrFaultInjected
 		}
@@ -369,7 +536,7 @@ func (wk *worker) executeSweep(inst *bench.Instance, sj *api.SweepJob, enc *json
 
 // executeSolve runs one full solve, mirroring the service's local path
 // (replica evaluator, core solver, RunFromDual) knob for knob.
-func (wk *worker) executeSolve(inst *bench.Instance, sj *api.SolveJob, enc *json.Encoder) error {
+func (wk *worker) executeSolve(ctx context.Context, inst *bench.Instance, sj *api.SolveJob, enc *json.Encoder) error {
 	opt := core.DefaultOptions(sj.Bounds.A0, sj.Bounds.NoiseBound, sj.Bounds.PowerBound)
 	if sj.MaxIterations > 0 {
 		opt.MaxIterations = sj.MaxIterations
@@ -380,6 +547,7 @@ func (wk *worker) executeSolve(inst *bench.Instance, sj *api.SolveJob, enc *json
 	opt.Workers = wk.opt.SolverWorkers
 	opt.Incremental = !sj.Full
 	opt.WarmStart = sj.Warm
+	opt.Cancel = func() bool { return ctx.Err() != nil }
 	replica, err := inst.Replica()
 	if err != nil {
 		return err

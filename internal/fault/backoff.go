@@ -1,0 +1,45 @@
+package fault
+
+import "time"
+
+// Backoff is a capped exponential backoff schedule with deterministic
+// jitter: Delay(attempt) is a pure function of (Seed, attempt), so a
+// retry trace replays identically under the same seed — the property the
+// chaos oracle leans on when it asserts a re-run reproduces the same
+// fault schedule. Jitter spreads each delay uniformly over
+// [delay/2, delay), the decorrelation that keeps a restarted worker
+// fleet from stampeding its coordinator in lockstep.
+type Backoff struct {
+	// Base is the attempt-0 delay (default 100ms); Cap bounds the
+	// exponential growth (default 5s).
+	Base time.Duration
+	Cap  time.Duration
+	// Seed feeds the deterministic jitter draw.
+	Seed uint64
+}
+
+// Delay returns the backoff before retry number attempt (0-based):
+// min(Cap, Base·2^attempt), jittered deterministically.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	// Uniform in [d/2, d): deterministic in (Seed, attempt).
+	u := float64(splitmix64(b.Seed^uint64(attempt)+0x9e37)>>11) / (1 << 53)
+	return d/2 + time.Duration(u*float64(d/2))
+}

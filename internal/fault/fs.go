@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the slice of the filesystem the durable store uses, made
+// injectable so a fault plan can fail writes, syncs, and renames on
+// demand. OS() is the real thing; NewFS wraps any FS with a plan.
+//
+// Operation names reported to the plan: "fs:write", "fs:sync",
+// "fs:rename", "fs:open", "fs:create". Reads are never faulted — the
+// store's failure model is about durability, not recall.
+type FS interface {
+	// OpenFile opens name with the given flag and permissions.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// CreateTemp creates a temp file in dir (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// MkdirAll, Rename, and Remove mirror the os functions.
+	MkdirAll(path string, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the file handle surface the store needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Name() string
+}
+
+// osFS is the passthrough FS over the real filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+
+// faultFS wraps an FS with a plan: write/sync/rename/open/create events
+// are reported and the plan's injections turn into I/O errors (Err,
+// Drop) or torn half-writes (ShortWrite) before reaching the real FS.
+type faultFS struct {
+	plan *Plan
+	real FS
+}
+
+// NewFS wraps real (nil: the OS filesystem) so the plan can inject
+// durability faults. A ShortWrite persists the first half of the payload
+// and then fails — the mid-append crash the store's torn-tail replay must
+// absorb; Err and Drop fail the operation without touching the disk.
+func NewFS(plan *Plan, real FS) FS {
+	if real == nil {
+		real = OS()
+	}
+	if plan == nil {
+		return real
+	}
+	return &faultFS{plan: plan, real: real}
+}
+
+func (f *faultFS) fail(op string) error {
+	if inj := f.plan.Next(op); inj != nil && (inj.Kind == Err || inj.Kind == Drop) {
+		return inj.Err
+	}
+	return nil
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.fail("fs:open"); err != nil {
+		return nil, err
+	}
+	file, err := f.real.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{plan: f.plan, File: file}, nil
+}
+
+func (f *faultFS) Open(name string) (File, error) {
+	// Read-only opens are never faulted: replay is not a durability path.
+	return f.real.Open(name)
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.fail("fs:create"); err != nil {
+		return nil, err
+	}
+	file, err := f.real.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{plan: f.plan, File: file}, nil
+}
+
+func (f *faultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.real.MkdirAll(path, perm)
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if err := f.fail("fs:rename"); err != nil {
+		return err
+	}
+	return f.real.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error { return f.real.Remove(name) }
+
+// faultFile gates Write and Sync through the plan.
+type faultFile struct {
+	plan *Plan
+	File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	inj := f.plan.Next("fs:write")
+	if inj == nil {
+		return f.File.Write(p)
+	}
+	switch inj.Kind {
+	case ShortWrite:
+		// Persist half the payload, then fail: the torn-line case. The
+		// half that landed is real bytes on disk — exactly what a crash
+		// mid-append leaves behind.
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, inj.Err
+	case Err, Drop:
+		return 0, inj.Err
+	default:
+		return f.File.Write(p)
+	}
+}
+
+func (f *faultFile) Sync() error {
+	if inj := f.plan.Next("fs:sync"); inj != nil && (inj.Kind == Err || inj.Kind == Drop) {
+		return inj.Err
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/fault"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// chaosOutcome is everything one full-stack run produces: the raw solve
+// bytes, the (timing-stripped) sweep grid, the final /stats, and the
+// fault plans with their post-run counters.
+type chaosOutcome struct {
+	solve      string // raw JSON of the solve's result field
+	grid       *sweep.Result
+	stats      Stats
+	storePlan  *fault.Plan
+	workerPlan *fault.Plan
+}
+
+// runChaosStack builds the whole stack the way ogwsd -coordinator -data
+// does — service + durable store + embedded coordinator + real workers
+// over TCP — runs a fixed register/solve/sweep choreography through it,
+// and tears it down. Empty specs run the stack fault-free; non-empty
+// ones arm the store filesystem and the first worker with deterministic
+// fault plans (the worker's plan faults both its coordinator link and
+// its lifecycle, and the choreography requires the rigged worker to die
+// of its injected crash mid-sweep before a clean survivor finishes).
+func runChaosStack(t *testing.T, storeSpec, workerSpec string) chaosOutcome {
+	t.Helper()
+	var out chaosOutcome
+
+	var fs fault.FS
+	if storeSpec != "" {
+		plan, err := fault.Parse(storeSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.storePlan = plan
+		fs = fault.NewFS(plan, fault.OS())
+	}
+	st, err := store.Open(t.TempDir(), store.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	coord := farm.New(farm.Options{HeartbeatInterval: 20 * time.Millisecond})
+	s := New(Options{Farm: coord, Store: st})
+	mux := http.NewServeMux()
+	mux.Handle("/farm/v1/", coord.Handler())
+	mux.Handle("/", s)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	coord.Start(ctx)
+
+	// Register, then solve before any worker is live (local path): with
+	// store faults armed, these two Puts are the injected write failures.
+	key := registerGrid(t, s).Key
+	out.solve = string(solveRaw(t, s, `{"key":"`+key+`","max_iterations":6}`).Result)
+
+	retry := fault.Backoff{Base: 2 * time.Millisecond, Cap: 20 * time.Millisecond, Seed: 9}
+	startWorker := func(name string, plan *fault.Plan) chan error {
+		client := http.DefaultClient
+		if plan != nil {
+			client = &http.Client{Transport: fault.NewTransport(plan, nil)}
+		}
+		ch := make(chan error, 1)
+		go func() {
+			ch <- farm.RunWorker(ctx, farm.WorkerOptions{
+				Coordinator: ts.URL,
+				Name:        name,
+				Fault:       plan,
+				Client:      client,
+				Backoff:     retry,
+				LeaseWait:   50 * time.Millisecond,
+			})
+		}()
+		return ch
+	}
+	live := func(n int) {
+		waitFor(t, "live workers", func() bool { return coord.LiveWorkers() >= n })
+	}
+
+	var doomedErr chan error
+	if workerSpec != "" {
+		plan, err := fault.Parse(workerSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.workerPlan = plan
+		// The rigged worker registers alone so it is the one that leases
+		// the sweep's spine job and dies inside it.
+		doomedErr = startWorker("doomed", plan)
+		live(1)
+	} else {
+		startWorker("doomed", nil)
+		startWorker("survivor", nil)
+		live(2)
+	}
+
+	sweepCh := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		sweepCh <- do(t, s, "POST", "/sweep", `{"key":"`+key+`","delay_scale":[1,1.08],"noise_scale":[0.9,1.2],"max_iterations":6}`)
+	}()
+
+	if doomedErr != nil {
+		select {
+		case err := <-doomedErr:
+			if !errors.Is(err, fault.ErrInjected) && !errors.Is(err, farm.ErrFaultInjected) {
+				t.Fatalf("rigged worker exited with %v, want injected fault", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("rigged worker never hit its injected crash")
+		}
+		// Only now admit the survivor: the coordinator must reap the dead
+		// worker and re-queue its job for the sweep to finish.
+		startWorker("survivor", nil)
+	}
+
+	var w *httptest.ResponseRecorder
+	select {
+	case w = <-sweepCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("sweep never completed")
+	}
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", w.Code, w.Body.String())
+	}
+	res := decodeAs[sweepResponse](t, w).Result
+	for i := range res.Cells {
+		res.Cells[i].SolveSec = 0
+	}
+	out.grid = res
+	out.stats = statsOf(t, s)
+	return out
+}
+
+// TestChaosOracle is the capstone determinism-under-failure oracle: the
+// full stack (service + durable store + coordinator + worker fleet) runs
+// the same choreography fault-free and under a seeded fault plan that
+// fails store writes, serves a 500 on a lease, severs a result stream
+// mid-upload, and crashes a worker mid-sweep — and the solved bytes must
+// be identical, every injected fault must be accounted exactly once, and
+// the same seed must reproduce the same schedule and bytes.
+func TestChaosOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves real grids across a worker fleet")
+	}
+	const (
+		storeSpec  = "seed=11;fs:write:err,count=2"
+		workerSpec = "seed=7;http:/farm/v1/lease:500,count=1;http:/farm/v1/result:cut,count=1,cut=64;worker:cell:crash,after=1,count=1"
+	)
+
+	clean := runChaosStack(t, "", "")
+	chaos := runChaosStack(t, storeSpec, workerSpec)
+
+	// Oracle 1: faults are invisible in the bytes.
+	if chaos.solve != clean.solve {
+		t.Errorf("solve bytes diverged under faults:\nclean: %s\nchaos: %s", clean.solve, chaos.solve)
+	}
+	if !reflect.DeepEqual(chaos.grid, clean.grid) {
+		t.Error("sweep grid diverged under faults")
+	}
+
+	// Oracle 2: every injected fault is accounted exactly once. The store
+	// plan's injections are the service's store_errors; the worker plan's
+	// schedule fired each rule exactly its count; and the farm counters
+	// show the crash was reaped, the job re-queued, and the lease 500
+	// forced one re-register.
+	if got := chaos.storePlan.Total(); got != 2 || chaos.stats.StoreErrors != 2 {
+		t.Errorf("store fault accounting: injected %d, store_errors %d, want 2/2 (plan %s)",
+			got, chaos.stats.StoreErrors, chaos.storePlan)
+	}
+	if chaos.stats.StoreMode != "rw" {
+		t.Errorf("store_mode %q after 2 failures (threshold 3), want rw", chaos.stats.StoreMode)
+	}
+	wantCounts := map[string]int64{
+		"http:/farm/v1/lease:500":  1,
+		"http:/farm/v1/result:cut": 1,
+		"worker:cell:crash":        1,
+	}
+	if got := chaos.workerPlan.Counts(); !reflect.DeepEqual(got, wantCounts) {
+		t.Errorf("worker fault accounting: %v, want %v (plan %s)", got, wantCounts, chaos.workerPlan)
+	}
+	fs := chaos.stats.Farm
+	if fs == nil || fs.WorkersReaped < 1 || fs.JobsRequeued < 1 || fs.Reconnects < 1 {
+		t.Errorf("farm did not account the faults (reaped/requeued/reconnects): %+v", fs)
+	}
+	if fs != nil && (fs.RunsCompleted != 1 || fs.RunsFailed != 0) {
+		t.Errorf("run accounting: %+v, want 1 completed, 0 failed", fs)
+	}
+
+	// Oracle 3: the same seeds reproduce the same schedule and bytes.
+	again := runChaosStack(t, storeSpec, workerSpec)
+	if again.solve != chaos.solve || !reflect.DeepEqual(again.grid, chaos.grid) {
+		t.Error("same-seed chaos run produced different bytes")
+	}
+	if !reflect.DeepEqual(again.workerPlan.Counts(), chaos.workerPlan.Counts()) {
+		t.Errorf("same-seed chaos run produced a different fault schedule: %v vs %v",
+			again.workerPlan.Counts(), chaos.workerPlan.Counts())
+	}
+}

@@ -140,36 +140,42 @@ func buildForSpec(spec api.CircuitSpec) (string, func() (*bench.Instance, *bench
 	}
 }
 
-// persistCircuit records a newly registered circuit's wire-form spec so a
-// restarted server can rebuild the instance under the same key.
-func (s *Server) persistCircuit(spec api.CircuitSpec) {
+// storePut is the single write path to the durable store. Every persist
+// goes through the degraded-mode gate (see storeGate in resilience.go):
+// in rw mode the write happens and its outcome feeds the gate's failure
+// streak; in degraded mode everything but the periodic recovery probe is
+// skipped. Persistence failing never fails the request — the solve
+// already has its bytes — so the outcome surfaces only in the counters.
+func (s *Server) storePut(key string, v any) {
 	if s.opt.Store == nil {
 		return
 	}
-	if err := s.opt.Store.Put(circuitPrefix+spec.Key, spec); err != nil {
-		s.stats.addStoreError()
+	if !s.gate.allow(s.opt.Now()) {
+		return
 	}
+	if err := s.opt.Store.Put(key, v); err != nil {
+		s.stats.addStoreError()
+		s.gate.failure(s.opt.Now())
+		return
+	}
+	s.gate.success()
+}
+
+// persistCircuit records a newly registered circuit's wire-form spec so a
+// restarted server can rebuild the instance under the same key.
+func (s *Server) persistCircuit(spec api.CircuitSpec) {
+	s.storePut(circuitPrefix+spec.Key, spec)
 }
 
 // persistResult records one saved (save_as) result under its circuit and
 // name, making warm_from chains restart-proof.
 func (s *Server) persistResult(circuitKey, name string, r *savedResult) {
-	if s.opt.Store == nil {
-		return
-	}
-	if err := s.opt.Store.Put(resultPrefix+circuitKey+"/"+name, storedResult{Result: r.Result, Dual: r.Dual}); err != nil {
-		s.stats.addStoreError()
-	}
+	s.storePut(resultPrefix+circuitKey+"/"+name, storedResult{Result: r.Result, Dual: r.Dual})
 }
 
 // persistSolve records a finished solve under its content hash for dedup.
 func (s *Server) persistSolve(key string, v storedSolve) {
-	if s.opt.Store == nil {
-		return
-	}
-	if err := s.opt.Store.Put(solvePrefix+key, v); err != nil {
-		s.stats.addStoreError()
-	}
+	s.storePut(solvePrefix+key, v)
 }
 
 // lookupSolve returns the stored solve for key, or nil.

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
@@ -39,6 +40,22 @@ type Options struct {
 	// MaxRequestBytes caps request bodies (netlist uploads dominate);
 	// default 16 MiB.
 	MaxRequestBytes int64
+	// MaxQueuedSolves bounds the total solve/sweep requests admitted but
+	// not yet finished (running plus queued on circuit locks and the
+	// solve semaphore). Beyond it requests are shed immediately with
+	// 503 + Retry-After instead of queuing without bound; default
+	// 4 × MaxConcurrentSolves.
+	MaxQueuedSolves int
+	// StoreFailureThreshold is how many consecutive store write failures
+	// flip the server to degraded (read-only) store mode; default 3.
+	// StoreProbeInterval is how often a degraded server lets one write
+	// through to probe for recovery; default 15s. See storeGate.
+	StoreFailureThreshold int
+	StoreProbeInterval    time.Duration
+	// Now is the clock the degraded-mode probe schedule reads,
+	// injectable so tests drive recovery deterministically; default
+	// time.Now.
+	Now func() time.Time
 	// Farm, when non-nil, is the embedded distributed-sizing coordinator
 	// (ogwsd -coordinator). Solves and sweeps are dispatched to the worker
 	// fleet whenever at least one worker is live, and run locally
@@ -75,6 +92,18 @@ func (o *Options) fill() {
 	if o.MaxRequestBytes <= 0 {
 		o.MaxRequestBytes = 16 << 20
 	}
+	if o.MaxQueuedSolves <= 0 {
+		o.MaxQueuedSolves = 4 * o.MaxConcurrentSolves
+	}
+	if o.StoreFailureThreshold <= 0 {
+		o.StoreFailureThreshold = 3
+	}
+	if o.StoreProbeInterval <= 0 {
+		o.StoreProbeInterval = 15 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	if o.WatchBuffer <= 0 {
 		o.WatchBuffer = delta.DefaultRetain
 	}
@@ -91,6 +120,13 @@ type Server struct {
 	mux      *http.ServeMux
 	hub      *delta.Hub
 	solveSeq int64 // atomic; numbers solves for the watch stream
+
+	// Resilience state (see resilience.go): the admitted-request count
+	// behind the overload gate, the drain latch, and the degraded-mode
+	// gate in front of the durable store.
+	inflight atomic.Int64
+	draining atomic.Bool
+	gate     storeGate
 }
 
 // New builds a Server with the given options. With Options.Store set,
@@ -105,6 +141,8 @@ func New(opt Options) *Server {
 		mux:   http.NewServeMux(),
 		hub:   delta.NewHub(opt.WatchBuffer),
 	}
+	s.gate.threshold = opt.StoreFailureThreshold
+	s.gate.probe = opt.StoreProbeInterval
 	s.mux.HandleFunc("POST /circuits", s.handleRegister)
 	s.mux.HandleFunc("GET /circuits", s.handleListCircuits)
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
@@ -463,6 +501,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Overload gate before any lock: a request past its bound must be
+	// shed while shedding is still cheap, not after it has parked on the
+	// circuit mutex (see admitSolve).
+	if !s.admitSolve(w, r, "solve") {
+		return
+	}
+	defer s.releaseSolve()
+
 	// Per-circuit lock first, global solve slot second: a request queued
 	// behind another solve of the same circuit must not pin a semaphore
 	// slot while it waits, or a burst on one circuit would starve every
@@ -551,6 +597,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		})
 		if err != nil {
 			s.emit(wlog, progressEvent{Kind: "error", Solve: solveID, Error: err.Error()})
+			if r.Context().Err() != nil {
+				// The client disconnecting cancelled the farm run (Solve
+				// awaits on the request context) — account it and answer
+				// the dead connection best-effort.
+				s.stats.addSolveCancelled()
+				writeError(w, http.StatusServiceUnavailable, "solve: cancelled: client disconnected")
+				return
+			}
 			writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
 			return
 		}
@@ -583,6 +637,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// solving goroutine between the dual update and the convergence check
 	// and never changes solved bits (pinned by core's hook test).
 	s.solveProgressOptions(&opt, wlog, solveID)
+	// Propagate the request deadline into the solver: once the client is
+	// gone the solve stops at its next iteration boundary instead of
+	// burning the slot to completion for a dead connection. A hook that
+	// never fires leaves the bits untouched (core's cancel test).
+	opt.Cancel = func() bool { return r.Context().Err() != nil }
 	replica, err := e.inst.Replica()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "solve: %v", err)
@@ -598,6 +657,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	res, err := sol.RunFromDual(seed, dual)
 	if err != nil {
 		s.emit(wlog, progressEvent{Kind: "error", Solve: solveID, Error: err.Error()})
+		if errors.Is(err, core.ErrCancelled) {
+			s.stats.addSolveCancelled()
+			writeError(w, http.StatusServiceUnavailable, "solve: cancelled: client disconnected")
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
 		return
 	}
@@ -672,6 +736,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.stats.snapshot(len(entries), hits, misses, evictions)
 	if s.opt.Store != nil {
 		st.StoreRecords = s.opt.Store.Len()
+		st.StoreMode = s.gate.mode()
+		st.StoreDegrades, st.StoreRecoveries, st.StoreWritesSkipped = s.gate.counters()
 	}
 	if s.opt.Farm != nil {
 		fs := s.opt.Farm.StatsSnapshot()

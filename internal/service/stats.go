@@ -28,6 +28,10 @@ type serverStats struct {
 	storeErrors      int64
 	reloadedCircuits int64
 	reloadedResults  int64
+	// Resilience accounting: requests shed by the overload gate and
+	// solves/sweeps cancelled mid-flight by a disconnected client.
+	overloadSheds   int64
+	solvesCancelled int64
 }
 
 func addEval(dst *rc.EvalStats, s rc.EvalStats) {
@@ -80,6 +84,18 @@ func (st *serverStats) addReloadedResult() {
 	st.reloadedResults++
 }
 
+func (st *serverStats) addOverloadShed() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.overloadSheds++
+}
+
+func (st *serverStats) addSolveCancelled() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.solvesCancelled++
+}
+
 func (st *serverStats) addSweep(sec float64, cells, lrsSweeps int) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -130,6 +146,20 @@ type Stats struct {
 	ReloadedCircuits int64 `json:"reloaded_circuits,omitempty"`
 	ReloadedResults  int64 `json:"reloaded_results,omitempty"`
 	StoreRecords     int   `json:"store_records,omitempty"`
+	// StoreMode is "rw" or "degraded" (read-only after persistent write
+	// failure; see storeGate), present when the server has a store.
+	// StoreDegrades / StoreRecoveries count the mode flips and
+	// StoreWritesSkipped the writes dropped while degraded.
+	StoreMode          string `json:"store_mode,omitempty"`
+	StoreDegrades      int64  `json:"store_degrades,omitempty"`
+	StoreRecoveries    int64  `json:"store_recoveries,omitempty"`
+	StoreWritesSkipped int64  `json:"store_writes_skipped,omitempty"`
+	// OverloadSheds counts solve/sweep requests rejected 503 by the
+	// admission gate (queue past MaxQueuedSolves, or draining);
+	// SolvesCancelled counts solves and sweeps a disconnected client
+	// stopped mid-flight at an iteration boundary.
+	OverloadSheds   int64 `json:"overload_sheds,omitempty"`
+	SolvesCancelled int64 `json:"solves_cancelled,omitempty"`
 	// Farm, present only in -coordinator mode, reports the worker fleet:
 	// per-worker job/cell counters plus reap and re-queue totals. Work a
 	// worker performed remotely is folded into the counters above when its
@@ -154,6 +184,8 @@ func (st *serverStats) snapshot(instances int, hits, misses, evictions int64) St
 		StoreErrors:      st.storeErrors,
 		ReloadedCircuits: st.reloadedCircuits,
 		ReloadedResults:  st.reloadedResults,
+		OverloadSheds:    st.overloadSheds,
+		SolvesCancelled:  st.solvesCancelled,
 	}
 	if st.sweepSec > 0 {
 		out.SweepCellsPerSec = float64(st.sweepCells) / st.sweepSec

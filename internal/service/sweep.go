@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -116,8 +117,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Cancel: func() bool { return r.Context().Err() != nil },
 	}
 
-	// Same lock order as handleSolve: per-circuit mutex before the global
-	// solve slot, so queued requests on one circuit never starve others.
+	// Overload gate before any lock, then the same lock order as
+	// handleSolve: per-circuit mutex before the global solve slot, so
+	// queued requests on one circuit never starve others.
+	if !s.admitSolve(w, r, "sweep") {
+		return
+	}
+	defer s.releaseSolve()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !s.acquireSolveSlot(w, r) {
@@ -149,6 +155,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		res, err := runGrid()
 		if err != nil {
 			s.emit(wlog, progressEvent{Kind: "error", Solve: solveID, Error: err.Error()})
+			if errors.Is(err, sweep.ErrCancelled) || r.Context().Err() != nil {
+				s.stats.addSolveCancelled()
+				writeError(w, http.StatusServiceUnavailable, "sweep: cancelled: client disconnected")
+				return
+			}
 			writeError(w, http.StatusUnprocessableEntity, "sweep: %v", err)
 			return
 		}
@@ -173,6 +184,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	res, err := runGrid()
 	if err != nil {
 		s.emit(wlog, progressEvent{Kind: "error", Solve: solveID, Error: err.Error()})
+		if errors.Is(err, sweep.ErrCancelled) || r.Context().Err() != nil {
+			s.stats.addSolveCancelled()
+		}
 		if !nw.started() {
 			writeError(w, http.StatusUnprocessableEntity, "sweep: %v", err)
 		} else {

@@ -32,9 +32,12 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 const (
@@ -57,6 +60,10 @@ type Options struct {
 	// death (the OS holds the page cache) but not power loss; the tests
 	// use it to keep tight loops fast.
 	NoSync bool
+	// FS is the filesystem the store writes through; nil selects the real
+	// one. The chaos tests hand in a fault-injecting FS to fail appends,
+	// fsyncs, and checkpoint renames on a deterministic schedule.
+	FS fault.FS
 }
 
 // record is one journal/checkpoint line.
@@ -70,11 +77,14 @@ type record struct {
 type Store struct {
 	mu      sync.Mutex
 	opt     Options
+	fs      fault.FS
 	dir     string
-	journal *os.File
+	journal fault.File
 	values  map[string]json.RawMessage
 	order   []string // first-insertion order, stable across restarts
 	lines   int      // journal lines since the last checkpoint
+	goodOff int64    // byte offset of the end of the last acknowledged line
+	dirty   bool     // a failed append could not be rolled back yet
 	closed  bool
 }
 
@@ -85,10 +95,14 @@ func Open(dir string, opt Options) (*Store, error) {
 	if opt.CompactEvery == 0 {
 		opt.CompactEvery = DefaultCompactEvery
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opt.FS
+	if fs == nil {
+		fs = fault.OS()
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{opt: opt, dir: dir, values: map[string]json.RawMessage{}}
+	s := &Store{opt: opt, fs: fs, dir: dir, values: map[string]json.RawMessage{}}
 	if err := s.loadFile(filepath.Join(dir, checkpointName), false); err != nil {
 		return nil, err
 	}
@@ -96,7 +110,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	j, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY, 0o644)
+	j, err := fs.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -111,6 +125,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s.journal = j
+	s.goodOff = goodBytes
 	return s, nil
 }
 
@@ -121,7 +136,7 @@ func (s *Store) journalPath() string { return filepath.Join(s.dir, journalName) 
 // otherwise any bad line is an error (a checkpoint is written atomically
 // and must be wholly valid).
 func (s *Store) loadFile(path string, tolerant bool) error {
-	f, err := os.Open(path)
+	f, err := s.fs.Open(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -136,7 +151,7 @@ func (s *Store) loadFile(path string, tolerant bool) error {
 // loadJournal replays the journal and returns the byte offset of the end
 // of its last complete line.
 func (s *Store) loadJournal() (int64, error) {
-	f, err := os.Open(s.journalPath())
+	f, err := s.fs.Open(s.journalPath())
 	if os.IsNotExist(err) {
 		return 0, nil
 	}
@@ -150,7 +165,7 @@ func (s *Store) loadJournal() (int64, error) {
 // replay applies NDJSON records from r, counting replayed lines into
 // s.lines when reading the journal, and returns the byte offset just past
 // the last complete, valid line.
-func (s *Store) replay(f *os.File, tolerant bool, path string) (int64, error) {
+func (s *Store) replay(f io.Reader, tolerant bool, path string) (int64, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 64<<10), 64<<20) // results can be large (X per node)
 	var good int64
@@ -212,19 +227,54 @@ func (s *Store) Put(key string, value any) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
+	if s.dirty {
+		// A previous failed append could not be rolled back; appending after
+		// its partial bytes would corrupt a mid-journal line, so retry the
+		// rollback before accepting new writes.
+		if err := s.rollbackLocked(); err != nil {
+			return fmt.Errorf("store: journal dirty after failed append: %w", err)
+		}
+	}
 	if _, err := s.journal.Write(line); err != nil {
+		// The append may have landed partially (a torn line). Truncate back
+		// to the last acknowledged byte so the journal stays a sequence of
+		// complete lines; on rollback failure the dirty flag blocks further
+		// appends until it succeeds.
+		s.rollbackLocked() //nolint:errcheck // best-effort; dirty flag records failure
 		return fmt.Errorf("store: append %q: %w", key, err)
 	}
 	if !s.opt.NoSync {
 		if err := s.journal.Sync(); err != nil {
+			// The line is complete on the page cache but not durable, and the
+			// caller will treat this Put as failed — drop it so memory and the
+			// acknowledged journal stay in step.
+			s.rollbackLocked() //nolint:errcheck
 			return fmt.Errorf("store: sync: %w", err)
 		}
 	}
 	s.putMem(key, data)
+	s.goodOff += int64(len(line))
 	s.lines++
 	if s.opt.CompactEvery > 0 && s.lines >= s.opt.CompactEvery {
 		return s.checkpointLocked()
 	}
+	return nil
+}
+
+// rollbackLocked truncates the journal back to the end of the last
+// acknowledged line, discarding any partial append, and repositions the
+// write offset there. On failure the store is marked dirty: Put refuses
+// new appends (retrying the rollback first) until the truncate lands.
+func (s *Store) rollbackLocked() error {
+	if err := s.journal.Truncate(s.goodOff); err != nil {
+		s.dirty = true
+		return err
+	}
+	if _, err := s.journal.Seek(s.goodOff, 0); err != nil {
+		s.dirty = true
+		return err
+	}
+	s.dirty = false
 	return nil
 }
 
@@ -297,11 +347,11 @@ func (s *Store) Checkpoint() error {
 }
 
 func (s *Store) checkpointLocked() error {
-	tmp, err := os.CreateTemp(s.dir, checkpointName+".tmp-")
+	tmp, err := s.fs.CreateTemp(s.dir, checkpointName+".tmp-")
 	if err != nil {
 		return fmt.Errorf("store: checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer s.fs.Remove(tmp.Name()) //nolint:errcheck // no-op after a successful rename
 	bw := bufio.NewWriter(tmp)
 	enc := json.NewEncoder(bw)
 	for _, k := range s.order {
@@ -321,18 +371,25 @@ func (s *Store) checkpointLocked() error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, checkpointName)); err != nil {
+	if err := s.fs.Rename(tmp.Name(), filepath.Join(s.dir, checkpointName)); err != nil {
+		// The old checkpoint plus the full journal is still on disk — a
+		// failed rename loses nothing, it only postpones compaction.
 		return fmt.Errorf("store: checkpoint: %w", err)
 	}
 	// The checkpoint holds everything: restart the journal empty. Truncate
-	// keeps the same inode, so the open handle stays valid.
+	// keeps the same inode, so the open handle stays valid. If the truncate
+	// fails, the journal's lines are all covered by the new checkpoint, so
+	// replay stays consistent; appends continue after them.
 	if err := s.journal.Truncate(0); err != nil {
 		return fmt.Errorf("store: checkpoint: %w", err)
 	}
 	if _, err := s.journal.Seek(0, 0); err != nil {
+		s.dirty = true // write offset unknown; block appends until rolled back
+		s.goodOff = 0
 		return fmt.Errorf("store: checkpoint: %w", err)
 	}
 	s.lines = 0
+	s.goodOff = 0
 	return nil
 }
 

@@ -80,13 +80,14 @@ type Options struct {
 	// concurrent use (rows solve concurrently) and never affects the
 	// solved values: the grid is bit-identical with or without it.
 	OnProgress func(row, col int, p core.IterProgress)
-	// Cancel, when non-nil, is polled before each cell's solve; once it
-	// returns true no further cells start and Run returns ErrCancelled.
-	// A cell already solving runs to completion (the solver has no
-	// preemption points), so cancellation latency is one cell per active
-	// row. Long-running callers use this to shed abandoned work — e.g.
-	// the sizing service polls the request context. Never polled on a
-	// sweep that was not cancelled, so the solved grid is unaffected.
+	// Cancel, when non-nil, is polled before each cell's solve and, via
+	// core.Options.Cancel, at every iteration boundary inside a cell;
+	// once it returns true no further cells start, the in-flight cell
+	// stops at its next iteration, and Run returns ErrCancelled.
+	// Long-running callers use this to shed abandoned work — e.g. the
+	// sizing service polls the request context. A sweep whose Cancel
+	// never fires solves the exact same grid as one with no hook, so the
+	// solved values are unaffected.
 	Cancel func() bool
 }
 
@@ -195,6 +196,9 @@ func (o Options) SolveCell(ev *rc.Evaluator, row, col int, b bench.Bounds, seed 
 	if o.OnProgress != nil {
 		sopt.OnIteration = func(p core.IterProgress) { o.OnProgress(row, col, p) }
 	}
+	// Thread the sweep's Cancel into the solver's iteration boundary, so a
+	// cancelled sweep also stops mid-cell instead of waiting out the cell.
+	sopt.Cancel = o.Cancel
 	sol, err := core.NewSolver(ev, sopt)
 	if err != nil {
 		return nil, nil, 0, err
@@ -206,6 +210,9 @@ func (o Options) SolveCell(ev *rc.Evaluator, row, col int, b bench.Bounds, seed 
 	start := time.Now()
 	res, err := sol.RunFromDual(seed, dual)
 	if err != nil {
+		if errors.Is(err, core.ErrCancelled) {
+			err = ErrCancelled
+		}
 		return nil, nil, 0, err
 	}
 	sec := time.Since(start).Seconds()

@@ -1,0 +1,79 @@
+#!/bin/sh
+# CI chaos smoke: the fault-injection storm run against REAL processes.
+# Builds ogwsd and ogws-worker, starts ogwsd in -coordinator -data mode
+# with its first two store writes rigged to fail (-fault-store), then
+# drives it with scripts/chaoscheck — which runs the golden 12×10 grid
+# sweep through a worker whose seeded plan serves it a lease 500, severs
+# its result stream mid-upload, and crashes it mid-grid, and asserts the
+# output is bit-identical to a fault-free run while /stats accounts every
+# injected fault exactly once. Afterwards the server gets a SIGTERM and
+# must drain gracefully: exit 0 and leave an empty journal behind its
+# final checkpoint. Both fault plans are seeded and printed below, so a
+# failing run is replayed exactly by re-running with the same specs.
+set -eu
+
+store_fault='seed=11;fs:write:err,count=2'
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+	status=$?
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	if [ "$status" -ne 0 ]; then
+		echo "chaos_smoke: FAILED; replay with -fault-store '$store_fault' (worker plan in chaoscheck log above)" >&2
+		if [ -s "$tmp/ogwsd.log" ]; then
+			echo "chaos_smoke: coordinator log:" >&2
+			cat "$tmp/ogwsd.log" >&2
+		fi
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/ogwsd" ./cmd/ogwsd
+go build -o "$tmp/ogws-worker" ./cmd/ogws-worker
+
+echo "chaos_smoke: store fault plan: $store_fault" >&2
+"$tmp/ogwsd" -coordinator -farm-heartbeat 250ms \
+	-data "$tmp/data" -fault-store "$store_fault" \
+	-addr 127.0.0.1:0 -addr-file "$tmp/addr" >"$tmp/ogwsd.log" 2>&1 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "chaos_smoke: ogwsd exited before binding its port" >&2
+		exit 1
+	fi
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "chaos_smoke: ogwsd did not write its address in time" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+addr="$(head -n1 "$tmp/addr")"
+go run ./scripts/chaoscheck -addr "$addr" -worker-bin "$tmp/ogws-worker" \
+	-golden internal/sweep/testdata/golden_grid.json
+
+# Graceful drain: SIGTERM must come back exit 0 with the journal folded
+# into the final checkpoint (satellite of the same robustness contract).
+kill -TERM "$pid"
+drain_status=0
+wait "$pid" || drain_status=$?
+pid=""
+if [ "$drain_status" -ne 0 ]; then
+	echo "chaos_smoke: ogwsd exited $drain_status on SIGTERM, want a clean drain" >&2
+	exit 1
+fi
+if [ -s "$tmp/data/journal.ndjson" ]; then
+	echo "chaos_smoke: journal not empty after the drain's final checkpoint" >&2
+	exit 1
+fi
+if [ ! -s "$tmp/data/checkpoint.ndjson" ]; then
+	echo "chaos_smoke: no checkpoint written by the graceful drain" >&2
+	exit 1
+fi
+echo "chaos_smoke: graceful drain checkpointed the store"
+echo "chaos_smoke: OK"
