@@ -26,6 +26,7 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0, "relative duality-gap precision, unitless (0 = the paper's 1%)")
 	short := flag.Bool("short", false, "run only the circuits up to ~5k components")
 	parallel := flag.Int("parallel", 1, "circuits solved concurrently (0 = all cores; rows bit-identical at every width)")
+	lockstep := flag.Bool("lockstep", false, "route each solve through the lockstep batch path (rows bit-identical to solo solves)")
 	flag.Parse()
 
 	var specs []bench.Spec
@@ -48,7 +49,7 @@ func main() {
 		specs = bench.ISCAS85
 	}
 
-	opt := bench.RunOptions{MaxIterations: *maxIter, Epsilon: *epsilon}
+	opt := bench.RunOptions{MaxIterations: *maxIter, Epsilon: *epsilon, Lockstep: *lockstep}
 	var rows []*bench.Table1Row
 	if *parallel == 1 {
 		for _, s := range specs {

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rc"
+)
+
+// lockstepJobs builds K jobs over one shared mesh topology with spread
+// delay bounds and spread iteration caps, so the solves finish after
+// different iteration counts — the staggered-retirement schedule the gate
+// must survive.
+func lockstepJobs(t *testing.T, k int) ([]BatchJob, []Options) {
+	t.Helper()
+	g, cs := meshCircuit(t, 10, 6)
+	base := meshOptions(t, g, cs, 60)
+	jobs := make([]BatchJob, k)
+	opts := make([]Options, k)
+	for i := 0; i < k; i++ {
+		opt := base
+		opt.A0 = base.A0 * (0.9 + 0.07*float64(i))
+		opt.MaxIterations = 20 + 13*i
+		ev, err := rc.NewEvaluator(g, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = BatchJob{Ev: ev, Options: opt}
+		opts[i] = opt
+	}
+	return jobs, opts
+}
+
+// soloResults solves each job's options independently (fresh evaluator,
+// plain Solver.Run) — the reference every lockstep replica must match bit
+// for bit.
+func soloResults(t *testing.T, jobs []BatchJob, opts []Options) []*Result {
+	t.Helper()
+	want := make([]*Result, len(jobs))
+	for i := range jobs {
+		ev, err := rc.NewEvaluator(jobs[i].Ev.Graph(), jobs[i].Ev.Couplings())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := NewSolver(ev, opts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sol.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol.Close()
+		want[i] = res
+	}
+	return want
+}
+
+// TestLockstepRetirementBitIdentical is the retirement oracle: K replicas
+// with spread bounds converge after different iteration counts, so the
+// gate shrinks round by round as solves retire — and every replica's
+// Result must still equal its independent Solver.Run bit for bit, at
+// every batched-pass width. This is the tentpole contract: lockstep is a
+// scheduling change, never a numerical one.
+func TestLockstepRetirementBitIdentical(t *testing.T) {
+	jobs, opts := lockstepJobs(t, 5)
+	want := soloResults(t, jobs, opts)
+
+	// The spread bounds must actually stagger convergence, otherwise this
+	// test never exercises Leave-with-pending-survivors.
+	iters := map[int]bool{}
+	for _, w := range want {
+		iters[w.Iterations] = true
+	}
+	if len(iters) < 2 {
+		t.Fatalf("all %d solves converged after the same iteration count %v — bounds spread too narrow to test retirement", len(want), want[0].Iterations)
+	}
+
+	for _, workers := range []int{1, 4} {
+		results := SolveBatchOpt(jobs, BatchOptions{Workers: workers, Lockstep: true})
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, r.Err)
+			}
+			if !reflect.DeepEqual(want[i], r.Result) {
+				t.Errorf("workers=%d job %d: lockstep result diverged from solo solve (iters %d vs %d)",
+					workers, i, r.Result.Iterations, want[i].Iterations)
+			}
+		}
+	}
+}
+
+// TestLockstepLeavesJobEvaluatorsUntouched: lockstep solves run on
+// replicas; the jobs' own evaluators must keep their pre-solve sizes.
+func TestLockstepLeavesJobEvaluatorsUntouched(t *testing.T) {
+	jobs, _ := lockstepJobs(t, 3)
+	before := make([][]float64, len(jobs))
+	for i := range jobs {
+		before[i] = append([]float64(nil), jobs[i].Ev.X...)
+	}
+	for i, r := range SolveBatchOpt(jobs, BatchOptions{Lockstep: true}) {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if !reflect.DeepEqual(before[i], jobs[i].Ev.X) {
+			t.Errorf("job %d: lockstep solve mutated the job's evaluator", i)
+		}
+	}
+}
+
+// TestLockstepMixedTopologyFallsBack: jobs over different graphs cannot
+// share a batch; SolveBatchOpt must fall back to the plain concurrent
+// path and still return correct per-job results.
+func TestLockstepMixedTopologyFallsBack(t *testing.T) {
+	jobsA, optsA := lockstepJobs(t, 2)
+	jobsB, optsB := lockstepJobs(t, 1) // separate meshCircuit call: distinct Graph pointer
+	jobs := append(jobsA, jobsB...)
+	opts := append(optsA, optsB...)
+	want := soloResults(t, jobs, opts)
+	for i, r := range SolveBatchOpt(jobs, BatchOptions{Lockstep: true}) {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if !reflect.DeepEqual(want[i], r.Result) {
+			t.Errorf("job %d: mixed-topology fallback diverged from solo solve", i)
+		}
+	}
+}
+
+// TestNewLockstepSolverRejectsBadReplica pins the range check.
+func TestNewLockstepSolverRejectsBadReplica(t *testing.T) {
+	g, cs := meshCircuit(t, 4, 2)
+	ls, err := NewLockstep(g, cs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	opt := meshOptions(t, g, cs, 5)
+	for _, rep := range []int{-1, 2, 7} {
+		if _, err := NewLockstepSolver(ls, rep, opt); err == nil {
+			t.Errorf("replica %d accepted, want range error", rep)
+		}
+	}
+	if ls.Len() != 2 {
+		t.Errorf("Len = %d, want 2", ls.Len())
+	}
+}

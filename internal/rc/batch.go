@@ -1,0 +1,293 @@
+package rc
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/coupling"
+)
+
+// Batch evaluates K replicas of one circuit in lockstep: all replicas
+// share a single topology (the coupling CSR, the level buckets, the
+// flattened component constants) and each owns a contiguous stripe set of
+// per-node state carved from one slab. RecomputeAll and
+// UpstreamResistanceAll advance any subset of replicas through ONE
+// levelized pass — one Runner barrier per level total instead of one per
+// level per replica — with the fused reverse pass visiting each node once
+// for its electrical values, coupling gather, and stage loads.
+//
+// The determinism contract is absolute: a replica advanced by the batch
+// passes is bit-identical to the same evaluator advanced solo, under any
+// Runner and any replica subset. That holds by construction — the batch
+// runs the identical per-node kernel bodies in the identical per-replica
+// order (same fold orders, same pass structure), replica stripes are
+// disjoint, and cross-replica grouping never crosses a data dependence.
+// Replicas that retire from the subset (a converged lockstep solve) simply
+// stop being visited; the survivors' bits cannot change, because no kernel
+// reads another replica's state.
+type Batch struct {
+	t   *topo
+	evs []*Evaluator
+	run Runner
+}
+
+// NewBatch builds k replica evaluators over one shared topology, each
+// initialized like NewEvaluator (sizes at the lower bounds). Replica state
+// is laid out as contiguous stripes in one slab, so the lockstep inner
+// loops walk dense memory.
+func NewBatch(g *circuit.Graph, cs *coupling.Set, k int) (*Batch, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("rc: batch needs at least one replica, got %d", k)
+	}
+	t, err := buildTopo(g, cs)
+	if err != nil {
+		return nil, err
+	}
+	per := t.stripeArrays() * g.NumNodes()
+	slab := make([]float64, k*per)
+	b := &Batch{t: t, evs: make([]*Evaluator, k)}
+	for r := 0; r < k; r++ {
+		b.evs[r] = newEvaluatorOn(t, slab[r*per:(r+1)*per])
+	}
+	return b, nil
+}
+
+// Len returns the number of replicas.
+func (b *Batch) Len() int { return len(b.evs) }
+
+// Ev returns replica r's evaluator. It is a full Evaluator — solo calls
+// (Recompute, SetSizes, the metric queries) work on it exactly as on a
+// NewEvaluator-built one and are bit-identical to them; only its per-node
+// state lives in the batch slab. The batch passes and solo calls on
+// distinct replicas touch disjoint stripes, so they may run concurrently;
+// a replica must not be advanced by both at once.
+func (b *Batch) Ev(r int) *Evaluator { return b.evs[r] }
+
+// SetRunner installs (or, with nil, removes) the executor for the batch
+// passes. The replicas' own Runners are untouched: a lockstep solve keeps
+// them nil so any solo evaluation a replica performs stays serial.
+func (b *Batch) SetRunner(r Runner) { b.run = r }
+
+// par runs fn over [lo, hi) through the batch Runner, or inline.
+func (b *Batch) par(lo, hi int, fn func(lo, hi int)) {
+	if b.run == nil {
+		fn(lo, hi)
+		return
+	}
+	b.run(lo, hi, fn)
+}
+
+// RecomputeAll refreshes every derived quantity of the listed replicas for
+// their current sizes, charging each replica's work counters exactly as a
+// solo full Recompute would. Without a Runner each replica runs the fused
+// serial passes in sequence; with one, all replicas advance level by level
+// together — each depth bucket becomes one parallel region of
+// len(reps)·bucket nodes, one barrier per level total. Both schedules are
+// bit-identical to per-replica solo Recomputes.
+func (b *Batch) RecomputeAll(reps []int) {
+	t := b.t
+	nn := t.g.NumNodes()
+	sink := t.g.SinkID()
+	for _, r := range reps {
+		b.evs[r].countFullRecompute()
+	}
+	if b.run == nil {
+		for _, r := range reps {
+			st := &b.evs[r].st
+			for i := nn - 1; i >= 1; i-- {
+				if i == sink {
+					continue
+				}
+				t.kNodeBackward(st, i)
+			}
+			st.a[0] = 0
+			for i := 1; i < nn; i++ {
+				if i == sink {
+					continue
+				}
+				t.kArrival(st, i)
+			}
+			t.kFinishSink(st)
+		}
+	} else {
+		// Reverse pass, levels descending, all replicas per bucket. The
+		// flat region index f maps to (replica reps[f/bl], node f%bl of the
+		// bucket); any Runner partition of it is race-free — see
+		// kNodeBackward.
+		for l := t.numLevels() - 1; l >= 0; l-- {
+			k0, k1 := int(t.lvlOff[l]), int(t.lvlOff[l+1])
+			bl := k1 - k0
+			if bl == 0 {
+				continue
+			}
+			b.par(0, len(reps)*bl, func(lo, hi int) {
+				for f := lo; f < hi; f++ {
+					st := &b.evs[reps[f/bl]].st
+					t.kNodeBackward(st, int(t.lvlNodes[k0+f%bl]))
+				}
+			})
+		}
+		for _, r := range reps {
+			b.evs[r].st.a[0] = 0
+		}
+		// Forward pass, levels ascending.
+		for l := 0; l < t.numLevels(); l++ {
+			k0, k1 := int(t.lvlOff[l]), int(t.lvlOff[l+1])
+			bl := k1 - k0
+			if bl == 0 {
+				continue
+			}
+			b.par(0, len(reps)*bl, func(lo, hi int) {
+				for f := lo; f < hi; f++ {
+					st := &b.evs[reps[f/bl]].st
+					t.kArrival(st, int(t.lvlNodes[k0+f%bl]))
+				}
+			})
+		}
+		for _, r := range reps {
+			t.kFinishSink(&b.evs[r].st)
+		}
+	}
+	for _, r := range reps {
+		b.evs[r].settleRecompute()
+	}
+}
+
+// SweepAll advances the listed replicas through one full LRS-sweep pass
+// pair — Recompute fused with UpstreamResistance — visiting each node's
+// forward work once: the arrival and the upstream resistance of a node
+// are computed in the same traversal, so a sweep costs one backward and
+// one forward pass instead of one backward and two forward. Bit-identical
+// to RecomputeAll followed by UpstreamResistanceAll: the arrival kernel
+// reads only fan-in arrivals and the upstream kernel only fan-in
+// resistances and dst entries — all strictly lower levels, finalized
+// before the traversal reaches the node — and the per-node bodies and
+// per-array visit orders are unchanged.
+func (b *Batch) SweepAll(reps []int, lambdas, dsts [][]float64) {
+	t := b.t
+	nn := t.g.NumNodes()
+	sink := t.g.SinkID()
+	for _, r := range reps {
+		b.evs[r].countFullRecompute()
+		b.evs[r].countFullUpstream()
+	}
+	if b.run == nil {
+		for n, r := range reps {
+			st := &b.evs[r].st
+			lambda, dst := lambdas[n], dsts[n]
+			for i := nn - 1; i >= 1; i-- {
+				if i == sink {
+					continue
+				}
+				t.kNodeBackward(st, i)
+			}
+			st.a[0] = 0
+			for i := range dst {
+				dst[i] = 0
+			}
+			for i := 1; i < nn; i++ {
+				if i == sink {
+					continue
+				}
+				t.kArrival(st, i)
+				if i < nn-1 {
+					dst[i] = t.kUpstream(st, i, lambda, dst)
+				}
+			}
+			t.kFinishSink(st)
+		}
+	} else {
+		for l := t.numLevels() - 1; l >= 0; l-- {
+			k0, k1 := int(t.lvlOff[l]), int(t.lvlOff[l+1])
+			bl := k1 - k0
+			if bl == 0 {
+				continue
+			}
+			b.par(0, len(reps)*bl, func(lo, hi int) {
+				for f := lo; f < hi; f++ {
+					st := &b.evs[reps[f/bl]].st
+					t.kNodeBackward(st, int(t.lvlNodes[k0+f%bl]))
+				}
+			})
+		}
+		for _, r := range reps {
+			b.evs[r].st.a[0] = 0
+		}
+		b.par(0, len(reps)*nn, func(lo, hi int) {
+			for f := lo; f < hi; f++ {
+				dsts[f/nn][f%nn] = 0
+			}
+		})
+		// Fused forward pass: each level bucket computes its nodes'
+		// arrivals and upstream resistances in one parallel region — both
+		// kernels read strictly lower levels only, so a bucket never reads
+		// what it writes.
+		for l := 0; l < t.numLevels(); l++ {
+			k0, k1 := int(t.lvlOff[l]), int(t.lvlOff[l+1])
+			bl := k1 - k0
+			if bl == 0 {
+				continue
+			}
+			b.par(0, len(reps)*bl, func(lo, hi int) {
+				for f := lo; f < hi; f++ {
+					n := f / bl
+					st := &b.evs[reps[n]].st
+					i := int(t.lvlNodes[k0+f%bl])
+					t.kArrival(st, i)
+					dsts[n][i] = t.kUpstream(st, i, lambdas[n], dsts[n])
+				}
+			})
+		}
+		for _, r := range reps {
+			t.kFinishSink(&b.evs[r].st)
+		}
+	}
+	for _, r := range reps {
+		b.evs[r].settleRecompute()
+	}
+}
+
+// UpstreamResistanceAll fills dsts[n] with replica reps[n]'s weighted
+// upstream resistances under the multipliers lambdas[n], exactly as a solo
+// UpstreamResistance call per replica would — one forward levelized pass
+// across all listed replicas, one barrier per level total.
+func (b *Batch) UpstreamResistanceAll(reps []int, lambdas, dsts [][]float64) {
+	t := b.t
+	nn := t.g.NumNodes()
+	for _, r := range reps {
+		b.evs[r].countFullUpstream()
+	}
+	if b.run == nil {
+		for n, r := range reps {
+			st := &b.evs[r].st
+			lambda, dst := lambdas[n], dsts[n]
+			for i := 0; i < nn; i++ {
+				dst[i] = 0
+			}
+			for i := 1; i < nn-1; i++ {
+				dst[i] = t.kUpstream(st, i, lambda, dst)
+			}
+		}
+		return
+	}
+	b.par(0, len(reps)*nn, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			dsts[f/nn][f%nn] = 0
+		}
+	})
+	for l := 0; l < t.numLevels(); l++ {
+		k0, k1 := int(t.lvlOff[l]), int(t.lvlOff[l+1])
+		bl := k1 - k0
+		if bl == 0 {
+			continue
+		}
+		b.par(0, len(reps)*bl, func(lo, hi int) {
+			for f := lo; f < hi; f++ {
+				n := f / bl
+				st := &b.evs[reps[n]].st
+				i := int(t.lvlNodes[k0+f%bl])
+				dsts[n][i] = t.kUpstream(st, i, lambdas[n], dsts[n])
+			}
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package rc
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// TestBatchErrors pins the constructor's argument validation.
+func TestBatchErrors(t *testing.T) {
+	g := buildChain(t)
+	cs := emptySet(t)
+	if _, err := NewBatch(g, cs, 0); err == nil {
+		t.Fatal("NewBatch with k=0 should fail")
+	}
+	if _, err := NewBatch(g, cs, -3); err == nil {
+		t.Fatal("NewBatch with negative k should fail")
+	}
+	b, err := NewBatch(g, cs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}
+
+// TestBatchReplicaIndependence checks that mutating one replica's sizes
+// and recomputing it leaves a sibling replica's state bit-identical to an
+// untouched solo evaluator — the disjoint-stripes property every lockstep
+// bitwise argument rests on.
+func TestBatchReplicaIndependence(t *testing.T) {
+	g := buildChain(t)
+	cs := emptySet(t)
+	b, err := NewBatch(g, cs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := NewEvaluator(g, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo.SetAllSizes(0.7)
+	solo.RecomputeSerial()
+	b.Ev(0).SetAllSizes(0.7)
+	b.Ev(1).SetAllSizes(2.3)
+	b.RecomputeAll([]int{0, 1})
+	// Hammer replica 1; replica 0 must not move a bit.
+	for pass := 0; pass < 3; pass++ {
+		b.Ev(1).SetAllSizes(0.3 + float64(pass))
+		b.RecomputeAll([]int{1})
+	}
+	e0 := b.Ev(0)
+	for i := 0; i < g.NumNodes(); i++ {
+		if e0.A[i] != solo.A[i] || e0.C[i] != solo.C[i] || e0.B[i] != solo.B[i] {
+			t.Fatalf("node %d: replica 0 perturbed by replica 1's recomputes (A=%.17g want %.17g)",
+				i, e0.A[i], solo.A[i])
+		}
+	}
+}
+
+// buildChain makes a minimal driver→wire→gate→wire(output) chain.
+func buildChain(t *testing.T) *circuit.Graph {
+	t.Helper()
+	b := circuit.NewBuilder()
+	d := b.AddDriver("d", 100)
+	w1 := b.AddWire("w1", 10, 0.5, 0.1, 50, 1, 0.2, 3)
+	gt := b.AddGate("g", 12, 0.4, 2, 0.3, 4)
+	w2 := b.AddWire("w2", 8, 0.5, 0.1, 40, 1, 0.2, 3)
+	b.Connect(d, w1)
+	b.Connect(w1, gt)
+	b.Connect(gt, w2)
+	b.MarkOutput(w2, 15)
+	g, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// FuzzLockstep is the batched kernel's adversary: for every DAG the bytes
+// describe it builds a K-replica rc.Batch with per-replica perturbed
+// sizes and K solo evaluators with the same sizes, then demands exact
+// bitwise equality of every derived array after batched RecomputeAll /
+// UpstreamResistanceAll — on arbitrary replica subsets, under
+// deliberately hostile Runner chunkings, against the serial solo
+// reference. This is the contract every lockstep layer above (core,
+// sweep, farm) inherits: a batched pass IS the solo pass, per replica.
+func FuzzLockstep(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4})
+	f.Add([]byte("batched replicas must match solo evaluators bit for bit"))
+	f.Add([]byte{0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, cs := dagFromBytes(t, data)
+		if g == nil {
+			return
+		}
+		feed := &byteFeed{data: data}
+		k := 1 + feed.next()%4
+		b, err := NewBatch(g, cs, k)
+		if err != nil {
+			t.Fatal(err) // generator only couples wires, so this must build
+		}
+		nn := g.NumNodes()
+		solos := make([]*Evaluator, k)
+		lambdas := make([][]float64, k)
+		for r := 0; r < k; r++ {
+			solo, err := NewEvaluator(g, cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Size-perturb each replica: same circuit, different point in
+			// the size box, mirrored into the batch replica and its solo
+			// twin.
+			for i := 0; i < nn; i++ {
+				c := g.Comp(i)
+				if !c.Kind.Sizable() {
+					continue
+				}
+				v := c.Lo + float64(feed.next()%32)/31*(c.Hi-c.Lo)
+				solo.X[i] = v
+				b.Ev(r).X[i] = v
+			}
+			solos[r] = solo
+			lam := make([]float64, nn)
+			for i := range lam {
+				lam[i] = float64((i*3+r*7+len(data))%13) / 5
+			}
+			lambdas[r] = lam
+		}
+		// An arbitrary non-empty subset first (converged replicas have
+		// retired), then the full set — both on every hostile chunking.
+		subset := make([]int, 0, k)
+		for r := 0; r < k; r++ {
+			if feed.next()%2 == 0 {
+				subset = append(subset, r)
+			}
+		}
+		if len(subset) == 0 {
+			subset = append(subset, feed.next()%k)
+		}
+		full := make([]int, k)
+		for r := range full {
+			full[r] = r
+		}
+		for _, parts := range []int{1, 3, 5} {
+			if parts > 1 {
+				b.SetRunner(chunkedRunner(parts))
+			}
+			for v, reps := range [][]int{subset, full} {
+				dsts := make([][]float64, len(reps))
+				lams := make([][]float64, len(reps))
+				for n, r := range reps {
+					dsts[n] = make([]float64, nn)
+					lams[n] = lambdas[r]
+				}
+				// Both batched schedules must match solo: the split pass
+				// pair and the fused single-traversal sweep.
+				if v == 0 {
+					b.RecomputeAll(reps)
+					b.UpstreamResistanceAll(reps, lams, dsts)
+				} else {
+					b.SweepAll(reps, lams, dsts)
+				}
+				for n, r := range reps {
+					solo := solos[r]
+					solo.RecomputeSerial()
+					ref := make([]float64, nn)
+					solo.UpstreamResistanceSerial(lambdas[r], ref)
+					e := b.Ev(r)
+					for i := 0; i < nn; i++ {
+						if e.B[i] != solo.B[i] || e.C[i] != solo.C[i] || e.CPr[i] != solo.CPr[i] ||
+							e.D[i] != solo.D[i] || e.A[i] != solo.A[i] ||
+							e.Cap[i] != solo.Cap[i] || e.RPs[i] != solo.RPs[i] {
+							t.Fatalf("parts=%d replica %d node %d: batch (B=%.17g C=%.17g D=%.17g A=%.17g) != solo (B=%.17g C=%.17g D=%.17g A=%.17g)",
+								parts, r, i, e.B[i], e.C[i], e.D[i], e.A[i],
+								solo.B[i], solo.C[i], solo.D[i], solo.A[i])
+						}
+						if e.CNbr != nil && e.CNbr[i] != solo.CNbr[i] {
+							t.Fatalf("parts=%d replica %d node %d: CNbr %.17g != %.17g",
+								parts, r, i, e.CNbr[i], solo.CNbr[i])
+						}
+						if dsts[n][i] != ref[i] {
+							t.Fatalf("parts=%d replica %d node %d: batch R=%.17g != solo R=%.17g",
+								parts, r, i, dsts[n][i], ref[i])
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/coupling"
-	"repro/internal/tech"
 )
 
 // Runner executes fn over disjoint contiguous subranges that exactly cover
@@ -25,6 +24,13 @@ type Evaluator struct {
 	g   *circuit.Graph
 	cs  *coupling.Set
 	run Runner
+
+	// Shared topology and this evaluator's stripe set (kernel.go). The
+	// exported per-node arrays below alias st's slices; the CSR and level
+	// fields alias t's. A solo evaluator owns its topo; a Batch replica
+	// shares one topo with its siblings.
+	t  *topo
+	st stripes
 
 	// Coupling gather index in CSR form: for node i, entries
 	// nbrOff[i]..nbrOff[i+1] list the coupled neighbour nodes (nbrIdx) and
@@ -95,75 +101,53 @@ type Evaluator struct {
 // may be empty but not nil-pair-invalid; pass an empty set for uncoupled
 // circuits). Sizes start at each component's lower bound.
 func NewEvaluator(g *circuit.Graph, cs *coupling.Set) (*Evaluator, error) {
-	nn := g.NumNodes()
-	e := &Evaluator{
-		g: g, cs: cs,
-		X:   make([]float64, nn),
-		Cap: make([]float64, nn),
-		RPs: make([]float64, nn),
-		B:   make([]float64, nn),
-		C:   make([]float64, nn),
-		CPr: make([]float64, nn),
-		D:   make([]float64, nn),
-		A:   make([]float64, nn),
+	t, err := buildTopo(g, cs)
+	if err != nil {
+		return nil, err
 	}
-	if cs.Len() > 0 {
-		e.CNbr = make([]float64, nn)
-		e.CHat = make([]float64, nn)
-		e.CCst = make([]float64, nn)
-		counts := make([]int32, nn+1)
-		for _, p := range cs.Pairs() {
-			for _, v := range [2]int{p.I, p.J} {
-				if v >= nn || g.Comp(v).Kind != circuit.Wire {
-					return nil, fmt.Errorf("rc: coupling pair (%d,%d) touches non-wire node %d", p.I, p.J, v)
-				}
-			}
-			e.CHat[p.I] += p.Weight * p.CHat()
-			e.CHat[p.J] += p.Weight * p.CHat()
-			e.CCst[p.I] += p.Weight * p.CTilde
-			e.CCst[p.J] += p.Weight * p.CTilde
-			counts[p.I+1]++
-			counts[p.J+1]++
-		}
-		e.nbrOff = counts
-		for i := 0; i < nn; i++ {
-			e.nbrOff[i+1] += e.nbrOff[i]
-		}
-		e.nbrIdx = make([]int32, 2*cs.Len())
-		e.nbrW = make([]float64, 2*cs.Len())
-		fill := make([]int32, nn)
-		for _, p := range cs.Pairs() {
-			w := p.Weight * p.CHat()
-			ki := e.nbrOff[p.I] + fill[p.I]
-			e.nbrIdx[ki], e.nbrW[ki] = int32(p.J), w
-			fill[p.I]++
-			kj := e.nbrOff[p.J] + fill[p.J]
-			e.nbrIdx[kj], e.nbrW[kj] = int32(p.I), w
-			fill[p.J]++
-		}
+	return newEvaluatorOn(t, nil), nil
+}
+
+// newEvaluatorOn builds an evaluator over a prebuilt topology, carving its
+// stripe set out of slab (nil allocates fresh backing; a Batch passes one
+// shared slab so replica stripes are contiguous). The exported per-node
+// arrays alias the stripes and the CSR/level fields alias the topo, so
+// every Evaluator method — including the incremental engine and
+// MemoryBytes — works identically whether the evaluator is solo or a
+// batch replica.
+func newEvaluatorOn(t *topo, slab []float64) *Evaluator {
+	g := t.g
+	nn := g.NumNodes()
+	st := t.carve(slab)
+	e := &Evaluator{
+		g: g, cs: t.cs,
+		t: t, st: st,
+		X:    st.x,
+		Cap:  st.cap,
+		RPs:  st.rps,
+		B:    st.b,
+		C:    st.c,
+		CPr:  st.cpr,
+		D:    st.d,
+		A:    st.a,
+		CNbr: st.cnbr,
+		CHat: t.chat,
+		CCst: t.ccst,
+
+		nbrOff: t.nbrOff,
+		nbrIdx: t.nbrIdx,
+		nbrW:   t.nbrW,
+
+		lvlOff:   t.lvlOff,
+		lvlNodes: t.lvlNodes,
 	}
 	for i := 0; i < nn; i++ {
 		if c := g.Comp(i); c.Kind.Sizable() {
 			e.X[i] = c.Lo
 		}
 	}
-	// Interior level buckets for the levelized topological passes.
-	nLvl := g.NumLevels()
-	e.lvlOff = make([]int32, nLvl+1)
-	for i := 1; i < nn-1; i++ {
-		e.lvlOff[g.Level(i)+1]++
-	}
-	for l := 0; l < nLvl; l++ {
-		e.lvlOff[l+1] += e.lvlOff[l]
-	}
-	e.lvlNodes = make([]int32, nn-2)
-	fill := make([]int32, nLvl)
-	for i := 1; i < nn-1; i++ { // ascending i ⇒ ascending within each bucket
-		l := g.Level(i)
-		e.lvlNodes[e.lvlOff[l]+fill[l]] = int32(i)
-		fill[l]++
-	}
 	// Dirty-cone scratch (incremental.go).
+	nLvl := t.numLevels()
 	e.dirtyRec.init(nn)
 	e.dirtyUp.init(nn)
 	e.nbrSet.init(nn)
@@ -171,7 +155,7 @@ func NewEvaluator(g *circuit.Graph, cs *coupling.Set) (*Evaluator, error) {
 	e.frFwd = newFrontier(nLvl, nn)
 	e.chg = make([]uint8, nn)
 	e.bindWalkBody()
-	return e, nil
+	return e
 }
 
 // numLevels returns the number of interior level buckets.
@@ -258,100 +242,31 @@ func (e *Evaluator) SetSizes(x []float64) error {
 }
 
 // electricalRange fills the per-node capacitances and effective resistances
-// for nodes [lo, hi); every iteration is independent.
-func (e *Evaluator) electricalRange(lo, hi int) {
-	for i := lo; i < hi; i++ {
-		c := e.g.Comp(i)
-		switch c.Kind {
-		case circuit.Driver:
-			e.Cap[i] = 0
-			e.RPs[i] = tech.RC * c.RUnit
-		case circuit.Gate:
-			e.Cap[i] = c.CUnit * e.X[i]
-			e.RPs[i] = tech.RC * c.RUnit / e.X[i]
-		case circuit.Wire:
-			e.Cap[i] = c.CUnit*e.X[i] + c.Fringe
-			e.RPs[i] = tech.RC * c.RUnit / e.X[i]
-		}
-	}
-}
+// for nodes [lo, hi); every iteration is independent. The body lives in
+// the kernel layer (kernel.go) so batched replicas run the identical code.
+func (e *Evaluator) electricalRange(lo, hi int) { e.t.kElectrical(&e.st, lo, hi) }
 
 // couplingRange fills the neighbour coupling sums CNbr for nodes [lo, hi).
 // Gathered per node from the CSR index: each iteration writes only its own
 // CNbr entry, in the same per-node accumulation order as the pair-scatter
 // formulation.
-func (e *Evaluator) couplingRange(lo, hi int) {
-	for i := lo; i < hi; i++ {
-		sum := 0.0
-		for k := e.nbrOff[i]; k < e.nbrOff[i+1]; k++ {
-			sum += e.nbrW[k] * e.X[e.nbrIdx[k]]
-		}
-		e.CNbr[i] = sum
-	}
-}
+func (e *Evaluator) couplingRange(lo, hi int) { e.t.kCoupling(&e.st, lo, hi) }
 
 // loadsNode computes the stage load B and the delay loads C/C′ of node i
 // from its fan-out. Every read (Cap of any fan-out, B of wire fan-outs) is
 // of a node on a strictly higher level, so nodes sharing a level can run
 // concurrently; the accumulation folds in fan-out list order, identical for
 // every schedule.
-func (e *Evaluator) loadsNode(i int) {
-	g := e.g
-	c := g.Comp(i)
-	b := c.Load
-	for _, jj := range g.Out(i) {
-		j := int(jj)
-		switch g.Comp(j).Kind {
-		case circuit.Wire:
-			b += e.Cap[j] + e.B[j]
-		case circuit.Gate:
-			b += e.Cap[j]
-		case circuit.Sink:
-			// Load already accounted in c.Load.
-		}
-	}
-	e.B[i] = b
-	switch c.Kind {
-	case circuit.Wire:
-		ccst, chat, cnbr := 0.0, 0.0, 0.0
-		if e.cs.Len() > 0 {
-			ccst, chat, cnbr = e.CCst[i], e.CHat[i], e.CNbr[i]
-		}
-		e.CPr[i] = b + c.Fringe/2 + ccst
-		e.C[i] = e.CPr[i] + cnbr + (c.CUnit*e.X[i])/2 + chat*e.X[i]
-	default: // gate or driver
-		e.CPr[i] = b
-		e.C[i] = b
-	}
-}
+func (e *Evaluator) loadsNode(i int) { e.t.kLoads(&e.st, i) }
 
 // arrivalNode computes node i's Elmore delay and arrival time. Reads only
 // arrivals of fan-ins (strictly lower level) and its own RPs/C.
-func (e *Evaluator) arrivalNode(i int) {
-	e.D[i] = e.RPs[i] * e.C[i]
-	a := 0.0
-	for _, j := range e.g.In(i) {
-		if e.A[j] > a {
-			a = e.A[j]
-		}
-	}
-	e.A[i] = a + e.D[i]
-}
+func (e *Evaluator) arrivalNode(i int) { e.t.kArrival(&e.st, i) }
 
 // finishSink defines the sink's arrival as the max over its feeders (0 when
 // the sink has no feeders, e.g. on BuildLoose graphs) — the max-fold is
 // exact under any grouping, so every schedule agrees bit for bit.
-func (e *Evaluator) finishSink() {
-	sink := e.g.SinkID()
-	maxA := 0.0
-	for _, j := range e.g.In(sink) {
-		if e.A[j] > maxA {
-			maxA = e.A[j]
-		}
-	}
-	e.D[sink] = 0
-	e.A[sink] = maxA
-}
+func (e *Evaluator) finishSink() { e.t.kFinishSink(&e.st) }
 
 // Recompute refreshes every derived quantity for the current sizes:
 // capacitances and resistances, the stage loads B and delay loads C/C′
@@ -590,21 +505,7 @@ func (e *Evaluator) NoiseExact() float64 { return e.cs.TotalExact(e.X) }
 // levels, so nodes sharing a level are independent; the fold runs in fan-in
 // list order, identical for every schedule.
 func (e *Evaluator) upstreamNode(i int, lambda, dst []float64) float64 {
-	g := e.g
-	sum := 0.0
-	for _, jj := range g.In(i) {
-		j := int(jj)
-		if j == 0 {
-			continue // source contributes nothing
-		}
-		switch g.Comp(j).Kind {
-		case circuit.Driver, circuit.Gate:
-			sum += lambda[j] * e.RPs[j]
-		case circuit.Wire:
-			sum += dst[j] + lambda[j]*e.RPs[j]
-		}
-	}
-	return sum
+	return e.t.kUpstream(&e.st, i, lambda, dst)
 }
 
 // UpstreamResistance fills dst[i] with the paper's weighted upstream

@@ -43,7 +43,13 @@ type sweepRequest struct {
 	PrimalOnly   bool `json:"primal_only,omitempty"`
 	S1           bool `json:"s1,omitempty"`
 	Full         bool `json:"full,omitempty"`
-	Stream       bool `json:"stream,omitempty"`
+	// Lockstep batches the sweep's independent cells through one shared
+	// evaluator in lockstep (sweep.Options.Lockstep) — a scheduling
+	// change only, the grid is bit-identical. The server's -lockstep flag
+	// makes it the default for every sweep; the request field opts a
+	// single sweep in.
+	Lockstep bool `json:"lockstep,omitempty"`
+	Stream   bool `json:"stream,omitempty"`
 }
 
 // gridLRSSweeps totals the inner LRS sweeps a solved grid executed — the
@@ -111,6 +117,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		PrimalOnly:    req.PrimalOnly,
 		ColdLRS:       req.S1,
 		FullPasses:    req.Full,
+		Lockstep:      req.Lockstep || s.opt.DefaultLockstep,
 		// Shed abandoned grids: unlike a solve (whose result may be saved
 		// for warm starts), a sweep's output goes nowhere once the client
 		// is gone, so stop scheduling cells when the request dies.
@@ -165,7 +172,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		sec := time.Since(start).Seconds()
 		s.emit(wlog, progressEvent{Kind: "sweep_done", Solve: solveID, Iterations: len(res.Cells), SolveSec: sec})
-		s.stats.addSweep(sec, len(res.Cells), gridLRSSweeps(res))
+		s.stats.addSweep(sec, len(res.Cells), gridLRSSweeps(res), opt.Lockstep)
 		writeJSON(w, http.StatusOK, sweepResponse{Key: e.key, Circuit: e.name, SolveSec: sec, Result: res})
 		return
 	}
@@ -196,7 +203,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	sec := time.Since(start).Seconds()
 	s.emit(wlog, progressEvent{Kind: "sweep_done", Solve: solveID, Iterations: len(res.Cells), SolveSec: sec})
-	s.stats.addSweep(sec, len(res.Cells), gridLRSSweeps(res))
+	s.stats.addSweep(sec, len(res.Cells), gridLRSSweeps(res), opt.Lockstep)
 	nw.writeLine(sweepSummary{
 		Done: true, Key: e.key, Circuit: e.name,
 		Rows: res.Rows, Cols: res.Cols, Frontier: res.Frontier, SolveSec: sec,

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestSweepLockstepBitIdentical is the sweep-level lockstep oracle: the
+// same grid solved with and without Lockstep must be bit-identical —
+// warm (row tails lockstep, spine sequential), cold (whole grid
+// locksteps), and at parallel batched-round widths. Together with
+// TestSweepGolden (which pins the Lockstep=false grid to the committed
+// fixture) this proves the golden grid passes unchanged with lockstep on.
+func TestSweepLockstepBitIdentical(t *testing.T) {
+	inst, b := testInstance(t, 12, 10)
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"warm", nil},
+		{"cold", func(o *Options) { o.Cold = true }},
+		{"warm/full-passes", func(o *Options) { o.FullPasses = true }},
+	} {
+		ref := stripTiming(runSweep(t, inst, testOptions(b, tc.mutate)))
+		for _, workers := range []int{0, 3} {
+			res := stripTiming(runSweep(t, inst, testOptions(b, func(o *Options) {
+				if tc.mutate != nil {
+					tc.mutate(o)
+				}
+				o.Lockstep = true
+				o.Workers = workers
+			})))
+			if !reflect.DeepEqual(ref, res) {
+				t.Errorf("%s workers=%d: lockstep sweep diverged from the solo-schedule sweep", tc.name, workers)
+			}
+		}
+	}
+}
+
+// TestSweepLockstepSingleCell: a one-cell grid has nothing to batch; the
+// lockstep knob must degrade to the plain path, not deadlock or error.
+func TestSweepLockstepSingleCell(t *testing.T) {
+	inst, b := testInstance(t, 8, 6)
+	ref := stripTiming(runSweep(t, inst, Options{Bounds: &b, MaxIterations: 8}))
+	res := stripTiming(runSweep(t, inst, Options{Bounds: &b, MaxIterations: 8, Lockstep: true}))
+	if !reflect.DeepEqual(ref, res) {
+		t.Errorf("single-cell lockstep sweep diverged")
+	}
+}
+
+// TestFillNormalizesWorkers pins the width normalization fill applies —
+// the same convention as core.Options.validate: negative selects all
+// cores, zero keeps each level's own default (Workers: one serial
+// solver; SweepWorkers: resolved later by fanout.Each).
+func TestFillNormalizesWorkers(t *testing.T) {
+	all := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		name                     string
+		workers, sweepWorkers    int
+		wantWorkers, wantSweepWk int
+	}{
+		{"zero-defaults", 0, 0, 1, 0},
+		{"explicit", 3, 5, 3, 5},
+		{"negative-workers", -1, 2, all, 2},
+		{"negative-sweep-workers", 2, -4, 2, all},
+		{"both-negative", -7, -1, all, all},
+	} {
+		o := Options{Workers: tc.workers, SweepWorkers: tc.sweepWorkers}
+		o.fill()
+		if o.Workers != tc.wantWorkers || o.SweepWorkers != tc.wantSweepWk {
+			t.Errorf("%s: fill(%d, %d) = (%d, %d), want (%d, %d)",
+				tc.name, tc.workers, tc.sweepWorkers,
+				o.Workers, o.SweepWorkers, tc.wantWorkers, tc.wantSweepWk)
+		}
+	}
+}
