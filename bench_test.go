@@ -22,6 +22,7 @@ import (
 	"repro/internal/coupling"
 	"repro/internal/rc"
 	"repro/internal/sweep"
+	"repro/internal/variation"
 )
 
 // table1Circuits is the subset run under `go test -bench`; the full ten
@@ -765,5 +766,60 @@ func BenchmarkLockstepSolve(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkMonteCarloSamples times a K=6 seeded Monte-Carlo yield run on
+// the synthetic c432, lockstep batch versus the solo per-sample path —
+// the PR-10 throughput comparison. The two modes produce bit-identical
+// sample sets (the variation oracle pins it), so this is pure scheduling
+// attribution; the samples/s metric is what BENCH_PR10.json tracks.
+func BenchmarkMonteCarloSamples(b *testing.B) {
+	inst := instanceFor(b, "c432")
+	const k = 6
+	for _, mode := range []string{"solo", "lockstep"} {
+		b.Run("c432/"+mode, func(b *testing.B) {
+			opt := variation.MCOptions{
+				Samples:       k,
+				Seed:          7,
+				Sigmas:        variation.Sigmas{R: 0.05, C: 0.05, Threshold: 0.08},
+				MaxIterations: 12,
+				Workers:       -1,
+				Solo:          mode == "solo",
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := variation.MonteCarlo(inst, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// BenchmarkCornerSweep times the standard five-corner enumeration on the
+// synthetic c432, warm-started from the nominal solve versus cold — the
+// corner analogue of the sweep engine's warm-start advantage. One op =
+// nominal + 5 corners; the corners/s metric divides the corners out.
+func BenchmarkCornerSweep(b *testing.B) {
+	inst := instanceFor(b, "c432")
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run("c432/"+mode, func(b *testing.B) {
+			opt := variation.CornerOptions{
+				MaxIterations: 12,
+				Cold:          mode == "cold",
+			}
+			var corners float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := variation.CornerSweep(inst, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				corners = float64(len(rep.Cells))
+			}
+			b.ReportMetric(corners*float64(b.N)/b.Elapsed().Seconds(), "corners/s")
+		})
 	}
 }

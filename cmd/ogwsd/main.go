@@ -9,7 +9,7 @@
 //	      [-workers 1] [-addr-file path] [-data dir]
 //	      [-coordinator] [-farm-heartbeat 2s] [-farm-lease-ttl 6s]
 //	      [-max-queued 0] [-drain-timeout 10s] [-store-probe 15s]
-//	      [-fault-store spec]
+//	      [-fault-store spec] [-mc-samples N] [-mc-seed S]
 //
 // SIGTERM/SIGINT triggers a graceful drain: new solves are shed with
 // 503 + Retry-After, in-flight ones get -drain-timeout to finish, farm
@@ -69,6 +69,8 @@ func main() {
 	maxQueued := flag.Int("max-queued", 0, "max solve/sweep requests admitted but unfinished before new ones are shed 503 + Retry-After (0 = 4x -max-solves)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget: how long in-flight solves get to finish before farm runs are cancelled and the final checkpoint is forced")
 	storeProbe := flag.Duration("store-probe", 0, "degraded store mode recovery-probe interval (0 = 15s; see /stats store_mode)")
+	mcSamples := flag.Int("mc-samples", 0, "default sample count for POST /montecarlo requests that omit samples (0 = requests must specify it)")
+	mcSeed := flag.Uint64("mc-seed", 0, "default sampler seed for POST /montecarlo requests that leave seed at 0 (same seed → byte-identical run)")
 	faultStore := flag.String("fault-store", "", "chaos testing: deterministic fault plan for the store filesystem, e.g. 'seed=7;fs:write:err,count=3' (see internal/fault)")
 	flag.Parse()
 
@@ -108,6 +110,8 @@ func main() {
 		StoreProbeInterval:  *storeProbe,
 		Farm:                coord,
 		Store:               st,
+		DefaultMCSamples:    *mcSamples,
+		DefaultMCSeed:       *mcSeed,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -8,6 +8,12 @@
 //	pareto [-circuits c432,c880] [-delay 0.95,1,1.05] [-noise 0.6,0.8,1,1.3]
 //	       [-maxiter N] [-epsilon 0.01] [-cold] [-full]
 //	       [-sweep-workers 0] [-cell-workers 1] [-out grid.json]
+//	       [-corners] [-montecarlo -samples K -seed S]
+//
+// -corners replaces the bounds grid with the standard five-corner
+// process enumeration (one variation.CornerReport per circuit);
+// -montecarlo replaces it with a seeded Monte-Carlo yield run (one
+// variation.MCResult per circuit, same seed → byte-identical JSON).
 //
 // The delay axis scales the derived arrival bound A0; the noise axis
 // scales the variable part of the crosstalk bound X_B. Cells solve
@@ -27,6 +33,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/sweep"
+	"repro/internal/variation"
 )
 
 func parseAxis(name, s string) []float64 {
@@ -60,7 +67,17 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0, "grid rows solved concurrently (0 = all cores; results bit-identical at every width)")
 	cellWorkers := flag.Int("cell-workers", 1, "solver goroutines per cell (0 = 1: the sweep level owns the cores; results bit-identical at every width)")
 	out := flag.String("out", "", "output path for the JSON grid (default: stdout)")
+	corners := flag.Bool("corners", false, "enumerate the standard process corners instead of sweeping the bounds grid")
+	montecarlo := flag.Bool("montecarlo", false, "Monte-Carlo yield analysis instead of the bounds grid")
+	samples := flag.Int("samples", 32, "Monte-Carlo sample count (with -montecarlo)")
+	seed := flag.Uint64("seed", 1, "Monte-Carlo sampler seed; same seed → byte-identical JSON")
+	sigmaR := flag.Float64("sigma-r", 0.05, "relative sigma of the wire-resistance perturbation (with -montecarlo)")
+	sigmaC := flag.Float64("sigma-c", 0.05, "relative sigma of the capacitance perturbation")
+	sigmaVT := flag.Float64("sigma-vt", 0.08, "relative sigma of the threshold (intrinsic-delay) perturbation")
 	flag.Parse()
+	if *corners && *montecarlo {
+		log.Fatal("-corners and -montecarlo are mutually exclusive")
+	}
 
 	opt := sweep.Options{
 		DelayScale:    parseAxis("delay", *delay),
@@ -75,23 +92,74 @@ func main() {
 		FullPasses:    *full,
 		Lockstep:      *lockstep,
 	}
-	var results []*sweep.Result
-	for _, name := range strings.Split(*circuits, ",") {
-		spec, ok := bench.SpecByName(strings.TrimSpace(name))
-		if !ok {
-			log.Fatalf("unknown circuit %q", name)
+	var results any
+	if *corners || *montecarlo {
+		// Variation modes: one report per circuit instead of a grid. The
+		// key field names the circuit so the JSON stays self-describing.
+		type cornersOut struct {
+			Circuit string                  `json:"circuit"`
+			Report  *variation.CornerReport `json:"report"`
 		}
-		res, err := sweep.RunSpec(spec, bench.PipelineOptions{}, opt)
-		if err != nil {
-			log.Fatalf("%s: %v", spec.Name, err)
+		type mcOut struct {
+			Circuit string              `json:"circuit"`
+			Result  *variation.MCResult `json:"result"`
 		}
-		cells := 0.0
-		for i := range res.Cells {
-			cells += res.Cells[i].SolveSec
+		var reports []any
+		for _, name := range strings.Split(*circuits, ",") {
+			spec, ok := bench.SpecByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("unknown circuit %q", name)
+			}
+			inst, err := bench.BuildInstance(spec, bench.PipelineOptions{})
+			if err != nil {
+				log.Fatalf("%s: %v", spec.Name, err)
+			}
+			if *corners {
+				rep, err := variation.CornerSweep(inst, variation.CornerOptions{
+					MaxIterations: *maxIter, Epsilon: *epsilon, Workers: *cellWorkers,
+					Cold: *cold, ColdLRS: *s1, PrimalOnly: *s1, FullPasses: *full,
+				})
+				if err != nil {
+					log.Fatalf("%s: %v", spec.Name, err)
+				}
+				fmt.Fprintf(os.Stderr, "%s done: %d corners, delay spread %.4f..%.4f ps\n",
+					spec.Name, len(rep.Cells), rep.Delay.Min, rep.Delay.Max)
+				reports = append(reports, cornersOut{Circuit: spec.Name, Report: rep})
+				continue
+			}
+			res, err := variation.MonteCarlo(inst, variation.MCOptions{
+				Samples: *samples, Seed: *seed,
+				Sigmas:        variation.Sigmas{R: *sigmaR, C: *sigmaC, Threshold: *sigmaVT},
+				MaxIterations: *maxIter, Epsilon: *epsilon, Workers: *cellWorkers,
+			})
+			if err != nil {
+				log.Fatalf("%s: %v", spec.Name, err)
+			}
+			fmt.Fprintf(os.Stderr, "%s done: %d samples, yield %.3f\n",
+				spec.Name, len(res.Samples), res.Yield)
+			reports = append(reports, mcOut{Circuit: spec.Name, Result: res})
 		}
-		fmt.Fprintf(os.Stderr, "%s done: %d cells, %d on the frontier, %.2fs solve time\n",
-			res.Circuit, len(res.Cells), len(res.Frontier), cells)
-		results = append(results, res)
+		results = reports
+	} else {
+		var grids []*sweep.Result
+		for _, name := range strings.Split(*circuits, ",") {
+			spec, ok := bench.SpecByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("unknown circuit %q", name)
+			}
+			res, err := sweep.RunSpec(spec, bench.PipelineOptions{}, opt)
+			if err != nil {
+				log.Fatalf("%s: %v", spec.Name, err)
+			}
+			cells := 0.0
+			for i := range res.Cells {
+				cells += res.Cells[i].SolveSec
+			}
+			fmt.Fprintf(os.Stderr, "%s done: %d cells, %d on the frontier, %.2fs solve time\n",
+				res.Circuit, len(res.Cells), len(res.Frontier), cells)
+			grids = append(grids, res)
+		}
+		results = grids
 	}
 
 	data, err := json.MarshalIndent(results, "", "\t")

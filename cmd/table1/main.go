@@ -5,6 +5,14 @@
 // Usage:
 //
 //	table1 [-circuits c432,c880] [-maxiter N] [-epsilon 0.01] [-short]
+//	       [-corners] [-montecarlo -samples K -seed S]
+//
+// -corners replaces the nominal run with the standard five-corner
+// process enumeration (tt/ff/ss/fs/sf), each corner warm-started from
+// the nominal solve, and prints one row per corner plus the cross-corner
+// delay spread. -montecarlo sizes K seeded perturbed replicas per
+// circuit and prints the delay/area distributions and the
+// delay-constraint yield (same seed → identical table, byte for byte).
 package main
 
 import (
@@ -13,9 +21,11 @@ import (
 	"log"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"repro/internal/bench"
 	"repro/internal/report"
+	"repro/internal/variation"
 )
 
 func main() {
@@ -27,6 +37,14 @@ func main() {
 	short := flag.Bool("short", false, "run only the circuits up to ~5k components")
 	parallel := flag.Int("parallel", 1, "circuits solved concurrently (0 = all cores; rows bit-identical at every width)")
 	lockstep := flag.Bool("lockstep", false, "route each solve through the lockstep batch path (rows bit-identical to solo solves)")
+	corners := flag.Bool("corners", false, "enumerate the standard process corners per circuit instead of the nominal run")
+	montecarlo := flag.Bool("montecarlo", false, "Monte-Carlo yield analysis per circuit instead of the nominal run")
+	samples := flag.Int("samples", 32, "Monte-Carlo sample count (with -montecarlo)")
+	seed := flag.Uint64("seed", 1, "Monte-Carlo sampler seed; same seed → byte-identical sample set")
+	sigmaR := flag.Float64("sigma-r", 0.05, "relative sigma of the wire-resistance perturbation (corners/Monte-Carlo)")
+	sigmaC := flag.Float64("sigma-c", 0.05, "relative sigma of the capacitance perturbation")
+	sigmaVT := flag.Float64("sigma-vt", 0.08, "relative sigma of the threshold (intrinsic-delay) perturbation")
+	workers := flag.Int("workers", 0, "solver goroutines per sample/corner in variation modes (0 = all cores; bit-identical at every width)")
 	flag.Parse()
 
 	var specs []bench.Spec
@@ -47,6 +65,17 @@ func main() {
 		}
 	default:
 		specs = bench.ISCAS85
+	}
+
+	if *corners || *montecarlo {
+		if *corners && *montecarlo {
+			log.Fatal("-corners and -montecarlo are mutually exclusive")
+		}
+		sg := variation.Sigmas{R: *sigmaR, C: *sigmaC, Threshold: *sigmaVT}
+		if err := runVariation(specs, *corners, sg, *samples, *seed, *maxIter, *epsilon, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	opt := bench.RunOptions{MaxIterations: *maxIter, Epsilon: *epsilon, Lockstep: *lockstep}
@@ -75,4 +104,54 @@ func main() {
 	if err := report.Table1(os.Stdout, rows); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runVariation prints the Table-1-style variation report: one corner
+// table or one Monte-Carlo yield table per circuit.
+func runVariation(specs []bench.Spec, corners bool, sg variation.Sigmas, samples int, seed uint64, maxIter int, epsilon float64, workers int) error {
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	defer tw.Flush()
+	for _, spec := range specs {
+		inst, err := bench.BuildInstance(spec, bench.PipelineOptions{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		if corners {
+			rep, err := variation.CornerSweep(inst, variation.CornerOptions{
+				MaxIterations: maxIter, Epsilon: epsilon, Workers: workers,
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			fmt.Fprintf(tw, "%s\tcorner\tdelay(ps)\tnoise(ff)\tarea\titer\tconverged\n", spec.Name)
+			fmt.Fprintf(tw, "\tnominal\t%.4f\t%.4f\t%.4f\t%d\t%v\n",
+				rep.Nominal.DelayPs, rep.Nominal.NoiseLinFF, rep.Nominal.Area,
+				rep.Nominal.Iterations, rep.Nominal.Converged)
+			for _, c := range rep.Cells {
+				fmt.Fprintf(tw, "\t%s\t%.4f\t%.4f\t%.4f\t%d\t%v\n",
+					c.Corner.Name, c.Result.DelayPs, c.Result.NoiseLinFF, c.Result.Area,
+					c.Result.Iterations, c.Result.Converged)
+			}
+			fmt.Fprintf(tw, "\tspread\tmean %.4f\tstd %.4f\tmin %.4f\tmax %.4f\t\n",
+				rep.Delay.Mean, rep.Delay.Std, rep.Delay.Min, rep.Delay.Max)
+			continue
+		}
+		res, err := variation.MonteCarlo(inst, variation.MCOptions{
+			Samples: samples, Seed: seed, Sigmas: sg,
+			MaxIterations: maxIter, Epsilon: epsilon, Workers: workers,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		fmt.Fprintf(tw, "%s\tsamples %d\tseed %d\tyield %.3f\t(a0 %.2f ps)\n",
+			spec.Name, len(res.Samples), seed, res.Yield, res.A0)
+		for _, d := range []struct {
+			name string
+			dist variation.Dist
+		}{{"delay(ps)", res.Delay}, {"area", res.Area}, {"noise(ff)", res.Noise}} {
+			fmt.Fprintf(tw, "\t%s\tmean %.4f\tstd %.4f\tmin %.4f\tmedian %.4f\tp90 %.4f\tmax %.4f\n",
+				d.name, d.dist.Mean, d.dist.Std, d.dist.Min, d.dist.Median, d.dist.P90, d.dist.Max)
+		}
+	}
+	return nil
 }

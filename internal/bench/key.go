@@ -82,6 +82,42 @@ func (inst *Instance) Replica() (*rc.Evaluator, error) {
 	return ev, nil
 }
 
+// PerturbedReplica is Replica under a technology perturbation: a fresh
+// solo evaluator whose per-node constants are the instance's scaled by p
+// (rc.Perturb — R/C/threshold corner scalars), seeded with the instance
+// evaluator's current sizes. The structural arrays (graph, coupling CSR,
+// level buckets) are shared with the instance's evaluator; only the
+// constant stripes are re-derived, so a corner or Monte-Carlo sample
+// costs a constant stripe set, not a new elaboration.
+func (inst *Instance) PerturbedReplica(p rc.Perturb) (*rc.Evaluator, error) {
+	ev, err := inst.Eval.ScaledReplica(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.SetSizes(inst.Eval.X); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// PerturbedBatch is ReplicaBatch with one perturbation per replica:
+// replica r evaluates the instance under perturbs[r]. Each batch replica
+// is bit-identical to the solo PerturbedReplica of the same perturbation
+// (the rc.Batch contract extended over scaled topologies), which is the
+// determinism anchor of the Monte-Carlo evaluator mode.
+func (inst *Instance) PerturbedBatch(perturbs []rc.Perturb) (*rc.Batch, error) {
+	b, err := rc.NewScaledBatch(inst.Eval.Graph(), inst.Eval.Couplings(), perturbs)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < b.Len(); r++ {
+		if err := b.Ev(r).SetSizes(inst.Eval.X); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
 // ReplicaBatch is Replica for lockstep multi-solve: a k-replica rc.Batch
 // over the instance's shared graph and coupling set, every replica seeded
 // with the instance evaluator's current sizes. The batch shares one

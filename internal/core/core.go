@@ -9,7 +9,6 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/lagrange"
 	"repro/internal/rc"
-	"repro/internal/tech"
 )
 
 // Options configures the OGWS solver. The zero value is not valid: A0 must
@@ -394,7 +393,12 @@ func NewSolver(ev *rc.Evaluator, opt Options) (*Solver, error) {
 	}
 	for i := 0; i < g.NumNodes(); i++ {
 		if c := g.Comp(i); c.Kind.Sizable() {
-			s.rEff[i] = tech.RC * c.RUnit
+			// The evaluator's topology holds tech.RC·r̂ᵢ per node — the base
+			// technology value for a plain evaluator (bit-identical to
+			// computing it here) and the corner/Monte-Carlo value for a
+			// perturbed replica (rc.Perturb), so the Theorem-5 resize runs
+			// under the same technology the evaluator times.
+			s.rEff[i] = ev.RCConst(i)
 			s.sizable = append(s.sizable, int32(i))
 		}
 	}

@@ -167,6 +167,25 @@ func (s *Set) TotalLinear(x []float64) float64 {
 	return total
 }
 
+// Scaled returns a derived set whose every pair carries c̃ᵢⱼ scaled by f
+// (distances and weights unchanged) — the coupling half of a process
+// corner or Monte-Carlo capacitance perturbation. Scaling c̃ scales CHat,
+// TotalLinear, TotalExact, and ConstantOffset by the same factor, so a
+// solver built over the derived set sees a consistently perturbed noise
+// model. f must be positive and finite (a zero or NaN scale would produce
+// pairs NewSet itself rejects). The neighbour index is structural and
+// shared with the receiver.
+func (s *Set) Scaled(f float64) (*Set, error) {
+	if !(f > 0) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("coupling: scale factor must be positive and finite, got %g", f)
+	}
+	ns := &Set{pairs: append([]Pair(nil), s.pairs...), neighbors: s.neighbors}
+	for i := range ns.pairs {
+		ns.pairs[i].CTilde *= f
+	}
+	return ns, nil
+}
+
 // ConstantOffset is Σ weight·c̃ᵢⱼ, the constant the paper subtracts from
 // both sides of the crosstalk constraint: X′ = X_B − ConstantOffset.
 func (s *Set) ConstantOffset() float64 {

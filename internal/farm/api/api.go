@@ -26,6 +26,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/rc"
+	"repro/internal/variation"
 )
 
 // Version is the protocol version; the coordinator rejects workers that
@@ -133,10 +134,11 @@ type LeaseResponse struct {
 // with the circuit spec the worker needs to materialize its replica.
 // Exactly one of Solve / Sweep is set.
 type Job struct {
-	ID      int64       `json:"id"`
-	Circuit CircuitSpec `json:"circuit"`
-	Solve   *SolveJob   `json:"solve,omitempty"`
-	Sweep   *SweepJob   `json:"sweep,omitempty"`
+	ID         int64          `json:"id"`
+	Circuit    CircuitSpec    `json:"circuit"`
+	Solve      *SolveJob      `json:"solve,omitempty"`
+	Sweep      *SweepJob      `json:"sweep,omitempty"`
+	MonteCarlo *MonteCarloJob `json:"montecarlo,omitempty"`
 }
 
 // Kind names the job's work type, for logs and stats.
@@ -146,6 +148,8 @@ func (j *Job) Kind() string {
 		return "solve"
 	case j.Sweep != nil:
 		return "sweep"
+	case j.MonteCarlo != nil:
+		return "montecarlo"
 	default:
 		return "empty"
 	}
@@ -198,6 +202,32 @@ type SweepJob struct {
 	CutoverHysteresis int     `json:"cutover_hysteresis,omitempty"`
 }
 
+// MonteCarloJob is one contiguous shard [Lo, Hi) of a Monte-Carlo run's
+// global sample set. The lease ships the run's seed and sigmas — never
+// drawn perturbations — and the worker re-derives its shard as
+// variation.Perturbs(Seed, Hi, Sigmas)[Lo:Hi]: sample i's scalars are a
+// pure function of (Seed, i, Sigmas) by the sampler's stream discipline,
+// so any sharding of the index range draws the identical values the full
+// local run draws, and each sample's solve (variation.SolveSamples) is
+// equally pure in its own perturbation. Reassembling shards by global
+// index therefore reproduces the single-process run byte for byte, no
+// matter how many workers shared the samples or how many died mid-shard.
+type MonteCarloJob struct {
+	// Bounds are the run's nominal base bounds; each sample is solved
+	// against its perturbedBounds carry, computed worker-side from the
+	// same arithmetic the local path uses.
+	Bounds bench.Bounds     `json:"bounds"`
+	Seed   uint64           `json:"seed"`
+	Sigmas variation.Sigmas `json:"sigmas"`
+	// Lo/Hi bound the shard's global sample indices: samples Lo ≤ i < Hi.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Solver knobs (width omitted, as in SolveJob — results are
+	// bit-identical at every width).
+	MaxIterations int     `json:"max_iterations,omitempty"`
+	Epsilon       float64 `json:"epsilon,omitempty"`
+}
+
 // CellSpec is one grid point to solve: its row-major position and the
 // fully resolved bounds the coordinator planned for it.
 type CellSpec struct {
@@ -215,10 +245,21 @@ type CellSpec struct {
 // leased until the reaper re-queues it; cells already received stay
 // recorded, because the re-run reproduces them bitwise.
 type ResultLine struct {
-	Cell  *CellResult  `json:"cell,omitempty"`
-	Solve *SolveResult `json:"solve,omitempty"`
-	Done  bool         `json:"done,omitempty"`
-	Error string       `json:"error,omitempty"`
+	Cell   *CellResult     `json:"cell,omitempty"`
+	Solve  *SolveResult    `json:"solve,omitempty"`
+	Sample *MCSampleResult `json:"sample,omitempty"`
+	Done   bool            `json:"done,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// MCSampleResult is one solved Monte-Carlo sample, addressed by its
+// global index in the run's sample set (not its position within the
+// shard), so the coordinator reassembles shards without knowing how the
+// range was cut.
+type MCSampleResult struct {
+	Index   int          `json:"index"`
+	Perturb rc.Perturb   `json:"perturb"`
+	Result  *core.Result `json:"result"`
 }
 
 // CellResult is one solved sweep cell.

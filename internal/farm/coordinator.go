@@ -88,6 +88,7 @@ type workerState struct {
 	jobsCompleted int64
 	cellsSolved   int64
 	solvesDone    int64
+	samplesSolved int64
 }
 
 // Coordinator owns the farm: registered workers, the pending-job queue,

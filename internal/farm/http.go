@@ -149,6 +149,15 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusBadRequest, "%v", err)
 				return
 			}
+		case line.Sample != nil:
+			s, err := c.recordSample(j, line.Sample)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			if s != nil && j.run.onSample != nil {
+				j.run.onSample(s)
+			}
 		case line.Error != "":
 			// A worker-reported error is deterministic — a re-run would fail
 			// identically — so it fails the whole run, not just the job.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/farm/api"
 	"repro/internal/sweep"
+	"repro/internal/variation"
 )
 
 // run is one in-flight distributed solve or sweep being assembled by the
@@ -40,11 +41,24 @@ type run struct {
 
 	// Solve state: the single job's outcome.
 	solveRes *api.SolveResult
+
+	// Monte-Carlo assembly state. mcSamples is indexed by global sample
+	// index minus mcLo; mcRecorded marks landed samples (first write wins,
+	// like sweep cells — duplicates from re-runs are bitwise equal);
+	// mcLeft counts unrecorded samples.
+	mcSamples  []variation.Sample
+	mcRecorded []bool
+	mcLeft     int
+	mcLo       int
+	onSample   func(*variation.Sample)
 }
 
 // finished reports whether the run stopped accepting results (completed,
 // failed, or cancelled). Caller holds c.mu.
-func (r *run) finished() bool { return r.dead || r.remaining == 0 && r.res != nil || r.solveRes != nil }
+func (r *run) finished() bool {
+	return r.dead || r.remaining == 0 && r.res != nil || r.solveRes != nil ||
+		r.mcRecorded != nil && r.mcLeft == 0
+}
 
 // closeLocked closes the run's done channel exactly once. Caller holds
 // c.mu.
@@ -85,12 +99,12 @@ func (c *Coordinator) newRunLocked(spec api.CircuitSpec) *run {
 
 // addJobLocked creates and enqueues one job for the run. Caller holds
 // c.mu.
-func (c *Coordinator) addJobLocked(r *run, seq int, solve *api.SolveJob, sw *api.SweepJob) {
+func (c *Coordinator) addJobLocked(r *run, seq int, solve *api.SolveJob, sw *api.SweepJob, mc *api.MonteCarloJob) {
 	c.nextJob++
 	j := &job{
 		run: r,
 		seq: seq,
-		msg: api.Job{ID: c.nextJob, Circuit: r.spec, Solve: solve, Sweep: sw},
+		msg: api.Job{ID: c.nextJob, Circuit: r.spec, Solve: solve, Sweep: sw, MonteCarlo: mc},
 	}
 	c.enqueueLocked(j)
 }
@@ -126,7 +140,7 @@ func (c *Coordinator) Solve(ctx context.Context, spec api.CircuitSpec, job api.S
 	}
 	c.mu.Lock()
 	r := c.newRunLocked(spec)
-	c.addJobLocked(r, 0, &job, nil)
+	c.addJobLocked(r, 0, &job, nil, nil)
 	c.mu.Unlock()
 	if err := c.await(ctx, r); err != nil {
 		return nil, err
@@ -209,7 +223,7 @@ func (c *Coordinator) Sweep(ctx context.Context, spec api.CircuitSpec, inst *ben
 				FullPasses:        opt.FullPasses,
 				ActiveSetTol:      opt.ActiveSetTol,
 				CutoverHysteresis: opt.CutoverHysteresis,
-			})
+			}, nil)
 		}
 	} else {
 		r.spineLeft = rows
@@ -227,7 +241,7 @@ func (c *Coordinator) Sweep(ctx context.Context, spec api.CircuitSpec, inst *ben
 			FullPasses:        opt.FullPasses,
 			ActiveSetTol:      opt.ActiveSetTol,
 			CutoverHysteresis: opt.CutoverHysteresis,
-		})
+		}, nil)
 	}
 	c.mu.Unlock()
 
@@ -339,8 +353,97 @@ func (c *Coordinator) addRowJobsLocked(r *run) {
 			FullPasses:        opt.FullPasses,
 			ActiveSetTol:      opt.ActiveSetTol,
 			CutoverHysteresis: opt.CutoverHysteresis,
-		})
+		}, nil)
 	}
+}
+
+// MonteCarlo dispatches a Monte-Carlo run across the farm and
+// reassembles its sample set in global index order. The job describes
+// the full range [Lo, Hi); the coordinator cuts it into contiguous
+// shards — one per live worker, at least one, at most one per sample —
+// and every shard ships only (seed, sigmas, range, bounds, knobs).
+// Sample i's perturbation is a pure function of (seed, i, sigmas) and
+// its solve a pure function of the perturbed instance, so the
+// reassembled set equals the single-process variation.MonteCarlo bytes
+// regardless of how the range was cut, which workers ran which shard, or
+// how many died and were re-queued mid-shard.
+//
+// onSample, when non-nil, observes samples as they are first recorded,
+// on coordinator goroutines, in arrival order (shards interleave;
+// within one shard indices ascend) — the same observational contract as
+// Sweep's OnCell.
+func (c *Coordinator) MonteCarlo(ctx context.Context, spec api.CircuitSpec, job api.MonteCarloJob, onSample func(*variation.Sample)) ([]variation.Sample, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := job.Sigmas.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Lo < 0 || job.Hi <= job.Lo {
+		return nil, fmt.Errorf("farm: montecarlo range [%d, %d) is empty or negative", job.Lo, job.Hi)
+	}
+	k := job.Hi - job.Lo
+	shards := c.LiveWorkers()
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > k {
+		shards = k
+	}
+
+	c.mu.Lock()
+	r := c.newRunLocked(spec)
+	r.mcSamples = make([]variation.Sample, k)
+	r.mcRecorded = make([]bool, k)
+	r.mcLeft = k
+	r.mcLo = job.Lo
+	r.onSample = onSample
+	for s := 0; s < shards; s++ {
+		shard := job
+		shard.Lo = job.Lo + s*k/shards
+		shard.Hi = job.Lo + (s+1)*k/shards
+		c.addJobLocked(r, s, nil, nil, &shard)
+	}
+	c.mu.Unlock()
+
+	if err := c.await(ctx, r); err != nil {
+		return nil, err
+	}
+	return r.mcSamples, nil
+}
+
+// recordSample lands one streamed Monte-Carlo sample into its run's
+// set. First write wins, exactly as recordCell: a duplicate from an
+// at-least-once re-run is bitwise equal by the determinism contract, so
+// it is dropped. Returns the sample to hand to the run's onSample hook
+// (nil for duplicates) — the caller invokes it outside the lock.
+func (c *Coordinator) recordSample(j *job, sr *api.MCSampleResult) (*variation.Sample, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := j.run
+	if r.mcRecorded == nil {
+		return nil, fmt.Errorf("farm: sample result for non-montecarlo run %d", r.id)
+	}
+	idx := sr.Index - r.mcLo
+	if idx < 0 || idx >= len(r.mcRecorded) {
+		return nil, fmt.Errorf("farm: sample %d outside the %d-sample set of run %d", sr.Index, len(r.mcRecorded), r.id)
+	}
+	if sr.Result == nil {
+		return nil, fmt.Errorf("farm: sample %d of run %d arrived without a result", sr.Index, r.id)
+	}
+	if r.mcRecorded[idx] {
+		return nil, nil // duplicate from a re-run: bitwise equal, drop
+	}
+	r.mcRecorded[idx] = true
+	r.mcLeft--
+	r.mcSamples[idx] = variation.Sample{Index: sr.Index, Perturb: sr.Perturb, Result: sr.Result}
+	if w := c.workers[j.worker]; w != nil {
+		w.samplesSolved++
+	}
+	if r.mcLeft == 0 {
+		c.completeLocked(r)
+	}
+	return &r.mcSamples[idx], nil
 }
 
 // recordSolve lands a solve job's result.

@@ -9,10 +9,12 @@ type WorkerStats struct {
 	Live bool   `json:"live"`
 	// JobsCompleted counts result streams that reached their done marker;
 	// CellsSolved counts first-recorded sweep cells (duplicates from
-	// re-runs are not credited); SolvesCompleted counts full solves.
+	// re-runs are not credited); SolvesCompleted counts full solves;
+	// SamplesSolved counts first-recorded Monte-Carlo samples.
 	JobsCompleted   int64 `json:"jobs_completed"`
 	CellsSolved     int64 `json:"cells_solved"`
 	SolvesCompleted int64 `json:"solves_completed"`
+	SamplesSolved   int64 `json:"samples_solved"`
 }
 
 // Stats is the farm section of the service's GET /stats payload.
@@ -56,6 +58,7 @@ func (c *Coordinator) StatsSnapshot() Stats {
 			JobsCompleted:   w.jobsCompleted,
 			CellsSolved:     w.cellsSolved,
 			SolvesCompleted: w.solvesDone,
+			SamplesSolved:   w.samplesSolved,
 		})
 		if !w.dead {
 			st.LiveWorkers++

@@ -20,6 +20,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/rc"
 	"repro/internal/sweep"
+	"repro/internal/variation"
 )
 
 // WorkerOptions configures one farm worker (cmd/ogws-worker wraps this in
@@ -466,6 +467,8 @@ func (wk *worker) execute(ctx context.Context, job *api.Job, w io.Writer) error 
 		return wk.executeSweep(ctx, inst, job.Sweep, enc)
 	case job.Solve != nil:
 		return wk.executeSolve(ctx, inst, job.Solve, enc)
+	case job.MonteCarlo != nil:
+		return wk.executeMonteCarlo(ctx, inst, job.MonteCarlo, enc)
 	default:
 		return fmt.Errorf("farm worker: job %d carries no work", job.ID)
 	}
@@ -583,6 +586,49 @@ func (wk *worker) executeSweepLockstep(inst *bench.Instance, sj *api.SweepJob, o
 		if sj.ReturnDual {
 			line.Cell.Dual = o.d
 		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		wk.cells++
+		if wk.crashAfterCell() {
+			wk.logf("farm worker %s: fault injected after %d cells, dying mid-job", wk.id, wk.cells)
+			return ErrFaultInjected
+		}
+	}
+	return nil
+}
+
+// executeMonteCarlo solves one Monte-Carlo sample shard. The worker
+// re-derives the shard's perturbations from the shipped (seed, sigmas)
+// by absolute index — variation.Perturbs draws sample i purely from
+// (seed, i, sigmas), so the slice [Lo:Hi) equals the same indices of the
+// full local draw bitwise — and solves them through the exact kernel the
+// local Monte-Carlo path uses (variation.SolveSamples, lockstep across
+// the shard). Each streamed line carries the sample's global index;
+// every line counts toward the crash-injection cell counter, so a fault
+// plan can kill the worker mid-shard for the reaping parity tests.
+func (wk *worker) executeMonteCarlo(ctx context.Context, inst *bench.Instance, mj *api.MonteCarloJob, enc *json.Encoder) error {
+	if mj.Lo < 0 || mj.Hi <= mj.Lo {
+		return fmt.Errorf("farm worker: montecarlo range [%d, %d) is empty or negative", mj.Lo, mj.Hi)
+	}
+	perturbs, err := variation.Perturbs(mj.Seed, mj.Hi, mj.Sigmas)
+	if err != nil {
+		return err
+	}
+	shard := perturbs[mj.Lo:mj.Hi]
+	results, err := variation.SolveSamples(inst, mj.Bounds, shard, variation.SolveOptions{
+		MaxIterations: mj.MaxIterations,
+		Epsilon:       mj.Epsilon,
+		Workers:       wk.opt.SolverWorkers,
+		Cancel:        func() bool { return ctx.Err() != nil },
+	})
+	if err != nil {
+		return err
+	}
+	for n, res := range results {
+		line := api.ResultLine{Sample: &api.MCSampleResult{
+			Index: mj.Lo + n, Perturb: shard[n], Result: res,
+		}}
 		if err := enc.Encode(line); err != nil {
 			return err
 		}

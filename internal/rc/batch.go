@@ -8,9 +8,12 @@ import (
 )
 
 // Batch evaluates K replicas of one circuit in lockstep: all replicas
-// share a single topology (the coupling CSR, the level buckets, the
-// flattened component constants) and each owns a contiguous stripe set of
-// per-node state carved from one slab. RecomputeAll and
+// share a single structural topology (the coupling CSR indices, the level
+// buckets) and each owns a contiguous stripe set of per-node state carved
+// from one slab. A replica's kernel dispatch goes through its own topo —
+// identical to the shared one for NewBatch replicas, a derived
+// constant-scaled one for NewScaledBatch replicas (scale.go) — so one
+// batch can lockstep K differently-perturbed instances of one circuit. RecomputeAll and
 // UpstreamResistanceAll advance any subset of replicas through ONE
 // levelized pass — one Runner barrier per level total instead of one per
 // level per replica — with the fused reverse pass visiting each node once
@@ -93,21 +96,22 @@ func (b *Batch) RecomputeAll(reps []int) {
 	}
 	if b.run == nil {
 		for _, r := range reps {
-			st := &b.evs[r].st
+			e := b.evs[r]
+			st := &e.st
 			for i := nn - 1; i >= 1; i-- {
 				if i == sink {
 					continue
 				}
-				t.kNodeBackward(st, i)
+				e.t.kNodeBackward(st, i)
 			}
 			st.a[0] = 0
 			for i := 1; i < nn; i++ {
 				if i == sink {
 					continue
 				}
-				t.kArrival(st, i)
+				e.t.kArrival(st, i)
 			}
-			t.kFinishSink(st)
+			e.t.kFinishSink(st)
 		}
 	} else {
 		// Reverse pass, levels descending, all replicas per bucket. The
@@ -122,8 +126,8 @@ func (b *Batch) RecomputeAll(reps []int) {
 			}
 			b.par(0, len(reps)*bl, func(lo, hi int) {
 				for f := lo; f < hi; f++ {
-					st := &b.evs[reps[f/bl]].st
-					t.kNodeBackward(st, int(t.lvlNodes[k0+f%bl]))
+					e := b.evs[reps[f/bl]]
+					e.t.kNodeBackward(&e.st, int(t.lvlNodes[k0+f%bl]))
 				}
 			})
 		}
@@ -139,13 +143,14 @@ func (b *Batch) RecomputeAll(reps []int) {
 			}
 			b.par(0, len(reps)*bl, func(lo, hi int) {
 				for f := lo; f < hi; f++ {
-					st := &b.evs[reps[f/bl]].st
-					t.kArrival(st, int(t.lvlNodes[k0+f%bl]))
+					e := b.evs[reps[f/bl]]
+					e.t.kArrival(&e.st, int(t.lvlNodes[k0+f%bl]))
 				}
 			})
 		}
 		for _, r := range reps {
-			t.kFinishSink(&b.evs[r].st)
+			e := b.evs[r]
+			e.t.kFinishSink(&e.st)
 		}
 	}
 	for _, r := range reps {
@@ -173,13 +178,14 @@ func (b *Batch) SweepAll(reps []int, lambdas, dsts [][]float64) {
 	}
 	if b.run == nil {
 		for n, r := range reps {
-			st := &b.evs[r].st
+			e := b.evs[r]
+			st := &e.st
 			lambda, dst := lambdas[n], dsts[n]
 			for i := nn - 1; i >= 1; i-- {
 				if i == sink {
 					continue
 				}
-				t.kNodeBackward(st, i)
+				e.t.kNodeBackward(st, i)
 			}
 			st.a[0] = 0
 			for i := range dst {
@@ -189,12 +195,12 @@ func (b *Batch) SweepAll(reps []int, lambdas, dsts [][]float64) {
 				if i == sink {
 					continue
 				}
-				t.kArrival(st, i)
+				e.t.kArrival(st, i)
 				if i < nn-1 {
-					dst[i] = t.kUpstream(st, i, lambda, dst)
+					dst[i] = e.t.kUpstream(st, i, lambda, dst)
 				}
 			}
-			t.kFinishSink(st)
+			e.t.kFinishSink(st)
 		}
 	} else {
 		for l := t.numLevels() - 1; l >= 0; l-- {
@@ -205,8 +211,8 @@ func (b *Batch) SweepAll(reps []int, lambdas, dsts [][]float64) {
 			}
 			b.par(0, len(reps)*bl, func(lo, hi int) {
 				for f := lo; f < hi; f++ {
-					st := &b.evs[reps[f/bl]].st
-					t.kNodeBackward(st, int(t.lvlNodes[k0+f%bl]))
+					e := b.evs[reps[f/bl]]
+					e.t.kNodeBackward(&e.st, int(t.lvlNodes[k0+f%bl]))
 				}
 			})
 		}
@@ -231,15 +237,16 @@ func (b *Batch) SweepAll(reps []int, lambdas, dsts [][]float64) {
 			b.par(0, len(reps)*bl, func(lo, hi int) {
 				for f := lo; f < hi; f++ {
 					n := f / bl
-					st := &b.evs[reps[n]].st
+					e := b.evs[reps[n]]
 					i := int(t.lvlNodes[k0+f%bl])
-					t.kArrival(st, i)
-					dsts[n][i] = t.kUpstream(st, i, lambdas[n], dsts[n])
+					e.t.kArrival(&e.st, i)
+					dsts[n][i] = e.t.kUpstream(&e.st, i, lambdas[n], dsts[n])
 				}
 			})
 		}
 		for _, r := range reps {
-			t.kFinishSink(&b.evs[r].st)
+			e := b.evs[r]
+			e.t.kFinishSink(&e.st)
 		}
 	}
 	for _, r := range reps {
@@ -259,13 +266,13 @@ func (b *Batch) UpstreamResistanceAll(reps []int, lambdas, dsts [][]float64) {
 	}
 	if b.run == nil {
 		for n, r := range reps {
-			st := &b.evs[r].st
+			e := b.evs[r]
 			lambda, dst := lambdas[n], dsts[n]
 			for i := 0; i < nn; i++ {
 				dst[i] = 0
 			}
 			for i := 1; i < nn-1; i++ {
-				dst[i] = t.kUpstream(st, i, lambda, dst)
+				dst[i] = e.t.kUpstream(&e.st, i, lambda, dst)
 			}
 		}
 		return
@@ -284,9 +291,9 @@ func (b *Batch) UpstreamResistanceAll(reps []int, lambdas, dsts [][]float64) {
 		b.par(0, len(reps)*bl, func(lo, hi int) {
 			for f := lo; f < hi; f++ {
 				n := f / bl
-				st := &b.evs[reps[n]].st
+				e := b.evs[reps[n]]
 				i := int(t.lvlNodes[k0+f%bl])
-				dsts[n][i] = t.kUpstream(st, i, lambdas[n], dsts[n])
+				dsts[n][i] = e.t.kUpstream(&e.st, i, lambdas[n], dsts[n])
 			}
 		})
 	}

@@ -80,6 +80,12 @@ type Options struct {
 	// WatchBuffer bounds the per-circuit progress log GET /watch reads
 	// (events retained for late/slow watchers); default delta.DefaultRetain.
 	WatchBuffer int
+	// DefaultMCSamples / DefaultMCSeed fill a POST /montecarlo request
+	// that leaves samples or seed at 0 (ogwsd -mc-samples / -mc-seed).
+	// With no server default a zero-sample request stays an error; seed 0
+	// is a valid seed, so the default only rebases the "unspecified" case.
+	DefaultMCSamples int
+	DefaultMCSeed    uint64
 }
 
 func (o *Options) fill() {
@@ -153,6 +159,7 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /circuits", s.handleListCircuits)
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /montecarlo", s.handleMonteCarlo)
 	s.mux.HandleFunc("GET /results", s.handleResults)
 	s.mux.HandleFunc("GET /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)

@@ -34,6 +34,14 @@ type serverStats struct {
 	// solves/sweeps cancelled mid-flight by a disconnected client.
 	overloadSheds   int64
 	solvesCancelled int64
+	// Process-variation accounting: Monte-Carlo runs (and their sample
+	// solves) plus corner sweeps (and their corner cells).
+	montecarlos int64
+	mcSamples   int64
+	mcSec       float64
+	cornerRuns  int64
+	cornerCells int64
+	cornerSec   float64
 }
 
 func addEval(dst *rc.EvalStats, s rc.EvalStats) {
@@ -111,6 +119,22 @@ func (st *serverStats) addSweep(sec float64, cells, lrsSweeps int, lockstep bool
 	}
 }
 
+func (st *serverStats) addMonteCarlo(sec float64, samples int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.montecarlos++
+	st.mcSamples += int64(samples)
+	st.mcSec += sec
+}
+
+func (st *serverStats) addCorners(sec float64, cells int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.cornerRuns++
+	st.cornerCells += int64(cells)
+	st.cornerSec += sec
+}
+
 // Stats is the GET /stats payload: cache effectiveness, request volume,
 // throughput, and the solver/evaluator work counters every lower layer
 // already keeps (rc.EvalStats, hysteresis trips).
@@ -173,6 +197,17 @@ type Stats struct {
 	// stopped mid-flight at an iteration boundary.
 	OverloadSheds   int64 `json:"overload_sheds,omitempty"`
 	SolvesCancelled int64 `json:"solves_cancelled,omitempty"`
+	// Process-variation accounting: MonteCarlos counts POST /montecarlo
+	// runs (MCSamples their sample solves, MCSamplesPerSec the aggregate
+	// sample throughput); CornerSweeps counts corners-mode sweep requests
+	// and CornerCells their per-corner solves.
+	MonteCarlos     int64   `json:"montecarlos,omitempty"`
+	MCSamples       int64   `json:"montecarlo_samples,omitempty"`
+	MCSec           float64 `json:"montecarlo_sec,omitempty"`
+	MCSamplesPerSec float64 `json:"montecarlo_samples_per_sec,omitempty"`
+	CornerSweeps    int64   `json:"corner_sweeps,omitempty"`
+	CornerCells     int64   `json:"corner_cells,omitempty"`
+	CornerSec       float64 `json:"corner_sec,omitempty"`
 	// Farm, present only in -coordinator mode, reports the worker fleet:
 	// per-worker job/cell counters plus reap and re-queue totals. Work a
 	// worker performed remotely is folded into the counters above when its
@@ -200,9 +235,18 @@ func (st *serverStats) snapshot(instances int, hits, misses, evictions int64) St
 		ReloadedResults:  st.reloadedResults,
 		OverloadSheds:    st.overloadSheds,
 		SolvesCancelled:  st.solvesCancelled,
+		MonteCarlos:      st.montecarlos,
+		MCSamples:        st.mcSamples,
+		MCSec:            st.mcSec,
+		CornerSweeps:     st.cornerRuns,
+		CornerCells:      st.cornerCells,
+		CornerSec:        st.cornerSec,
 	}
 	if st.sweepSec > 0 {
 		out.SweepCellsPerSec = float64(st.sweepCells) / st.sweepSec
+	}
+	if st.mcSec > 0 {
+		out.MCSamplesPerSec = float64(st.mcSamples) / st.mcSec
 	}
 	return out
 }

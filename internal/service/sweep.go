@@ -50,6 +50,11 @@ type sweepRequest struct {
 	// single sweep in.
 	Lockstep bool `json:"lockstep,omitempty"`
 	Stream   bool `json:"stream,omitempty"`
+	// Corners replaces the bounds grid with the standard five-corner
+	// process enumeration (tt/ff/ss/fs/sf), each corner warm-started from
+	// the nominal solve; delay_scale / noise_scale are ignored. See
+	// handleCorners.
+	Corners bool `json:"corners,omitempty"`
 }
 
 // gridLRSSweeps totals the inner LRS sweeps a solved grid executed — the
@@ -92,6 +97,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	e := s.cache.get(req.Key)
 	if e == nil {
 		writeError(w, http.StatusNotFound, "sweep: no cached circuit for key %q (register it first; it may have been evicted)", req.Key)
+		return
+	}
+	if req.Corners {
+		s.handleCorners(w, r, &req, e)
 		return
 	}
 	bounds, err := resolveBounds(e.bounds, req.A0, req.Noise, req.Power)

@@ -22,6 +22,10 @@ import (
 //	solve_done  — the solve finished (summary fields, never the full X)
 //	sweep_start / cell / sweep_done — the sweep analogues; cell and iter
 //	              carry Row/Col grid positions
+//	mc_start / sample / mc_done — the Monte-Carlo analogues; sample
+//	              carries the absolute sample index, mc_done the yield
+//	corners_start / corner / corners_done — the corner-sweep analogues;
+//	              corner carries the corner name
 //	error       — the solve or sweep failed
 type progressEvent struct {
 	Kind  string `json:"kind"`
@@ -36,6 +40,12 @@ type progressEvent struct {
 	Gap        float64 `json:"gap,omitempty"`
 	Area       float64 `json:"area,omitempty"`
 	SolveSec   float64 `json:"solve_sec,omitempty"`
+	// Sample is the absolute sample index on kind "sample", Yield the
+	// delay-constraint yield on "mc_done", Corner the corner name on
+	// "corner" events.
+	Sample int     `json:"sample,omitempty"`
+	Yield  float64 `json:"yield,omitempty"`
+	Corner string  `json:"corner,omitempty"`
 	// Dedup marks a solve answered from the durable store without running.
 	Dedup bool   `json:"dedup,omitempty"`
 	Error string `json:"error,omitempty"`

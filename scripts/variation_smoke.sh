@@ -1,0 +1,49 @@
+#!/bin/sh
+# CI smoke for the process-variation modes: build the real ogwsd and
+# ogws-worker binaries, start ogwsd in -coordinator mode on a free TCP
+# port, then drive it with scripts/variationcheck — which registers the
+# synthetic c432, runs the seed-7 Monte-Carlo both locally on the server
+# and through a real worker process, and requires both byte-identical to
+# an in-process variation.MonteCarlo reference; the corners sweep mode is
+# checked the same way. This is the determinism contract (same seed →
+# byte-identical, distributed ≡ single-process) exercised over real TCP.
+set -eu
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+	status=$?
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	if [ "$status" -ne 0 ] && [ -s "$tmp/ogwsd.log" ]; then
+		echo "variation_smoke: coordinator log:" >&2
+		cat "$tmp/ogwsd.log" >&2
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/ogwsd" ./cmd/ogwsd
+go build -o "$tmp/ogws-worker" ./cmd/ogws-worker
+
+# Port 0 lets the kernel assign a free port — no pick-then-bind race —
+# and -addr-file is how we learn which one it chose.
+"$tmp/ogwsd" -coordinator -farm-heartbeat 250ms \
+	-addr 127.0.0.1:0 -addr-file "$tmp/addr" >"$tmp/ogwsd.log" 2>&1 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "variation_smoke: ogwsd exited before binding its port" >&2
+		exit 1
+	fi
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "variation_smoke: ogwsd did not write its address in time" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+addr="$(head -n1 "$tmp/addr")"
+go run ./scripts/variationcheck -addr "$addr" -worker-bin "$tmp/ogws-worker"
